@@ -1,0 +1,53 @@
+package dsnaudit_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"repro/dsnaudit"
+)
+
+// Example shows the complete owner workflow: network setup, outsourcing
+// with erasure coding, contract engagement and a full audit run.
+func Example() {
+	net, err := dsnaudit.NewNetwork()
+	if err != nil {
+		panic(err)
+	}
+	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
+	for i := 0; i < 10; i++ {
+		if _, err := net.AddProvider(fmt.Sprintf("sp-%d", i), funds); err != nil {
+			panic(err)
+		}
+	}
+	owner, err := dsnaudit.NewOwner(net, "alice", 8, funds)
+	if err != nil {
+		panic(err)
+	}
+
+	data := make([]byte, 8192)
+	if _, err := rand.Read(data); err != nil {
+		panic(err)
+	}
+	sf, err := owner.Outsource("archive", data, 3, 7)
+	if err != nil {
+		panic(err)
+	}
+
+	terms := dsnaudit.DefaultTerms(2)
+	terms.ChallengeSize = 10
+	eng, err := owner.Engage(sf, sf.Holders[0], terms)
+	if err != nil {
+		panic(err)
+	}
+	passed, err := eng.RunAll()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds passed:", passed)
+	fmt.Println("proof size:", dsnaudit.PrivateProofSize)
+	// Output:
+	// rounds passed: 2
+	// proof size: 288
+}

@@ -1,0 +1,148 @@
+// Privacy attack: a working demonstration of the paper's Section V-C.
+//
+// A victim outsources a small file and answers audits. An off-chain
+// adversary reads nothing but the public audit trail. The demo runs three
+// scenarios:
+//
+//  1. Passive attack against the NON-private protocol: after ~d*s observed
+//     rounds, Gaussian elimination recovers every data block, byte for byte.
+//
+//  2. Eclipse-accelerated attack: the adversary crafts the challenges
+//     (fixed index/coefficient seeds, swept evaluation point) and recovers
+//     the challenged chunks from only s*u responses via Lagrange
+//     interpolation -- the paper's "much more efficiently".
+//
+//  3. The same passive attack against the privacy-assured protocol of
+//     Section V-D: the masked responses y' = zeta*y + z are statistically
+//     uniform and the "recovered" blocks match nothing.
+//
+//     go run ./examples/privacyattack
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/ff"
+)
+
+func main() {
+	log.SetFlags(0)
+	const s = 4 // small file: the paper's worst case for leakage
+
+	sk, err := core.KeyGen(s, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := []byte("TOP-SECRET medical archive content that must never leak on chain!")
+	ef, err := core.EncodeFile(secret, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auths, err := core.Setup(sk, ef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := core.NewProver(sk.Pub, ef, auths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := ef.NumChunks()
+	fmt.Printf("victim file: %d bytes, d=%d chunks x s=%d blocks\n\n", len(secret), d, s)
+
+	// --- Scenario 1: passive attack on the non-private protocol ---
+	fmt.Println("[1] passive adversary vs NON-private proofs (sigma, y, psi)")
+	obs := attack.NewPassiveObserver(d, s)
+	rounds := 0
+	for obs.Equations() < obs.Unknowns()+2 {
+		ch, err := core.NewChallenge(d, rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proof, err := victim.Prove(ch, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.Ingest(&attack.Observation{Challenge: ch, Y: proof.Y}); err != nil {
+			log.Fatal(err)
+		}
+		rounds++
+	}
+	blocks, err := obs.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered := obs.RecoveredFile(blocks)
+	recovered.Length = len(secret)
+	plain := recovered.Decode()
+	fmt.Printf("    observed %d audit rounds -> solved %d unknowns\n", rounds, obs.Unknowns())
+	fmt.Printf("    recovered plaintext: %q\n", string(plain))
+	fmt.Printf("    exact match: %v\n\n", string(plain) == string(secret))
+
+	// --- Scenario 2: eclipse-accelerated attack ---
+	fmt.Println("[2] eclipse adversary crafting challenges (Lagrange interpolation)")
+	adv := attack.NewEclipseAdversary(d, s)
+	const k = 2
+	sets := k + 1
+	crafted := adv.CraftedChallenges(k, sets)
+	responses := make([][]*big.Int, sets)
+	for t := range crafted {
+		responses[t] = make([]*big.Int, len(crafted[t]))
+		for v, ch := range crafted[t] {
+			proof, err := victim.Prove(ch, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			responses[t][v] = proof.Y
+		}
+	}
+	rec, err := adv.RecoverFromBatches(crafted, responses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	okAll := true
+	for idx, coeffs := range rec {
+		for j := range coeffs {
+			if !ff.Equal(coeffs[j], ef.Chunks[idx].Coeffs[j]) {
+				okAll = false
+			}
+		}
+	}
+	fmt.Printf("    %d crafted responses recovered %d chunks exactly: %v\n\n",
+		sets*s, len(rec), okAll)
+
+	// --- Scenario 3: the same passive attack vs the private protocol ---
+	fmt.Println("[3] passive adversary vs PRIVATE proofs (sigma, y', psi, R)")
+	obs2 := attack.NewPassiveObserver(d, s)
+	var ys []*big.Int
+	for obs2.Equations() < obs2.Unknowns()+2 {
+		ch, _ := core.NewChallenge(d, rand.Reader)
+		proof, err := victim.ProvePrivate(ch, nil, rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = obs2.Ingest(&attack.Observation{Challenge: ch, Y: proof.YPrime})
+		ys = append(ys, proof.YPrime)
+	}
+	blocks2, err := obs2.Recover()
+	if err != nil {
+		fmt.Printf("    recovery failed outright: %v\n", err)
+	} else {
+		matches := 0
+		for i := 0; i < d; i++ {
+			for j := 0; j < s; j++ {
+				if ff.Equal(blocks2[i*s+j], ef.Chunks[i].Coeffs[j]) {
+					matches++
+				}
+			}
+		}
+		fmt.Printf("    solver produced garbage: %d/%d blocks match\n", matches, d*s)
+	}
+	fmt.Printf("    masked trail uniformity (chi^2/df, ~1.0 = uniform): %.2f\n",
+		attack.PrivateTrailBias(ys, 8))
+	fmt.Println("    the Sigma-protocol mask z kills the linear structure the attack needs")
+}

@@ -1,0 +1,211 @@
+package attack
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ff"
+)
+
+// victim builds a small outsourced file and its prover (the unwitting
+// storage provider that answers challenges honestly).
+func victim(t *testing.T, s, fileBytes int) (*core.Prover, *core.EncodedFile) {
+	t.Helper()
+	sk, err := core.KeyGen(s, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, fileBytes)
+	rand.Read(data)
+	ef, err := core.EncodeFile(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths, err := core.Setup(sk, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := core.NewProver(sk.Pub, ef, auths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prover, ef
+}
+
+func TestPassiveObserverRecoversNonPrivateData(t *testing.T) {
+	// Small file (the paper's "extreme case of data of small size"):
+	// 3 chunks x 4 blocks = 12 unknowns, so ~12 observed audits suffice.
+	const s = 4
+	prover, ef := victim(t, s, 300)
+	d := ef.NumChunks()
+
+	obs := NewPassiveObserver(d, s)
+	need := obs.Unknowns()
+	for round := 0; obs.Equations() < need+2; round++ {
+		ch, err := core.NewChallenge(d, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := prover.Prove(ch, nil) // the NON-private protocol
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Ingest(&Observation{Challenge: ch, Y: proof.Y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	blocks, err := obs.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every recovered block must equal the real data.
+	for i := 0; i < d; i++ {
+		for j := 0; j < s; j++ {
+			if !ff.Equal(blocks[i*s+j], ef.Chunks[i].Coeffs[j]) {
+				t.Fatalf("block (%d,%d) not recovered", i, j)
+			}
+		}
+	}
+	// And the reshaped file must decode to the same chunk polynomials.
+	rec := obs.RecoveredFile(blocks)
+	for i := 0; i < d; i++ {
+		if !rec.Chunks[i].Equal(ef.Chunks[i]) {
+			t.Fatalf("chunk %d mismatch after reshape", i)
+		}
+	}
+}
+
+func TestPassiveObserverInsufficientObservations(t *testing.T) {
+	obs := NewPassiveObserver(3, 4)
+	if _, err := obs.Recover(); err == nil {
+		t.Fatal("recovered from zero observations")
+	}
+}
+
+func TestPassiveObserverFailsAgainstPrivateProofs(t *testing.T) {
+	// Same pipeline, but the victim runs ProvePrivate: the observer sees
+	// y' = zeta*y + z instead of y. Recovery must NOT match the data.
+	const s = 3
+	prover, ef := victim(t, s, 200)
+	d := ef.NumChunks()
+
+	obs := NewPassiveObserver(d, s)
+	for obs.Equations() < obs.Unknowns()+2 {
+		ch, _ := core.NewChallenge(d, rand.Reader)
+		proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The adversary mistakes y' for y (it has nothing else).
+		if err := obs.Ingest(&Observation{Challenge: ch, Y: proof.YPrime}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, err := obs.Recover()
+	if err != nil {
+		// Singular system is also a fine outcome for the defender.
+		return
+	}
+	matches := 0
+	for i := 0; i < d; i++ {
+		for j := 0; j < s; j++ {
+			if ff.Equal(blocks[i*s+j], ef.Chunks[i].Coeffs[j]) {
+				matches++
+			}
+		}
+	}
+	if matches != 0 {
+		t.Fatalf("private protocol leaked %d/%d blocks", matches, d*s)
+	}
+}
+
+func TestEclipseAdversaryRecoversChallengedChunks(t *testing.T) {
+	const s = 5
+	prover, ef := victim(t, s, 1200)
+	d := ef.NumChunks()
+
+	adv := NewEclipseAdversary(d, s)
+	const k = 3 // chunks per challenge; u = k challenged chunks get recovered
+	sets := k + 1
+	crafted := adv.CraftedChallenges(k, sets)
+
+	// The eclipsed victim answers every crafted challenge honestly with
+	// the non-private protocol.
+	responses := make([][]*big.Int, sets)
+	for t2 := range crafted {
+		responses[t2] = make([]*big.Int, len(crafted[t2]))
+		for v, ch := range crafted[t2] {
+			proof, err := prover.Prove(ch, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			responses[t2][v] = proof.Y
+		}
+	}
+
+	recovered, err := adv.RecoverFromBatches(crafted, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != k {
+		t.Fatalf("recovered %d chunks, want %d", len(recovered), k)
+	}
+	for idx, coeffs := range recovered {
+		for j := 0; j < s; j++ {
+			if !ff.Equal(coeffs[j], ef.Chunks[idx].Coeffs[j]) {
+				t.Fatalf("eclipse recovery wrong at chunk %d pos %d", idx, j)
+			}
+		}
+	}
+
+	// Efficiency claim: s*u observations per the paper.
+	if got := ObservationsNeeded(s, k); got != s*k {
+		t.Fatalf("ObservationsNeeded = %d", got)
+	}
+}
+
+func TestEclipseAdversaryValidation(t *testing.T) {
+	adv := NewEclipseAdversary(10, 4)
+	if _, err := adv.RecoverFromBatches(nil, nil); err == nil {
+		t.Fatal("accepted empty batches")
+	}
+	crafted := adv.CraftedChallenges(3, 2) // 2 sets < 3 chunks
+	responses := make([][]*big.Int, 2)
+	for i := range responses {
+		responses[i] = make([]*big.Int, 4)
+		for j := range responses[i] {
+			responses[i][j] = big.NewInt(1)
+		}
+	}
+	if _, err := adv.RecoverFromBatches(crafted, responses); err == nil {
+		t.Fatal("accepted too few coefficient sets")
+	}
+}
+
+func TestPrivateTrailBiasUniform(t *testing.T) {
+	const s = 3
+	prover, ef := victim(t, s, 150)
+	d := ef.NumChunks()
+
+	var ys []*big.Int
+	for i := 0; i < 200; i++ {
+		ch, _ := core.NewChallenge(d, rand.Reader)
+		proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys = append(ys, proof.YPrime)
+	}
+	bias := PrivateTrailBias(ys, 8)
+	// Normalized chi-square ~1 for uniform; allow generous slack for 200
+	// samples.
+	if bias > 2.5 {
+		t.Fatalf("private trail bias %.2f suggests leakage", bias)
+	}
+	if PrivateTrailBias(nil, 8) != 0 || PrivateTrailBias(ys, 1) != 0 {
+		t.Fatal("degenerate inputs should return 0")
+	}
+}

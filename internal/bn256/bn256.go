@@ -1,0 +1,548 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// Sizes of the fixed-length encodings produced by the Marshal and Compress
+// methods, in bytes.
+const (
+	G1UncompressedSize = 64  // x || y
+	G1CompressedSize   = 32  // x with sign/infinity flags in the top bits
+	G2UncompressedSize = 128 // x.x || x.y || y.x || y.y
+	G2CompressedSize   = 64
+	GTUncompressedSize = 384 // 12 Fp coefficients
+	GTCompressedSize   = 192 // torus representation: 6 Fp coefficients
+)
+
+// Flag bits packed into the most significant byte of a compressed x
+// coordinate. p has 254 bits, leaving the top two bits of a 32-byte
+// big-endian encoding free.
+const (
+	flagYOdd     = 0x80 // set when the larger square root was chosen
+	flagInfinity = 0x40
+)
+
+var (
+	// ErrMalformedPoint is returned by Unmarshal methods on any encoding
+	// that does not decode to a valid group element.
+	ErrMalformedPoint = errors.New("bn256: malformed point encoding")
+)
+
+// G1 is an element of the prime-order group of points on y^2 = x^3 + 3
+// over Fp. The zero value is invalid; obtain points via the constructors.
+type G1 struct {
+	p *curvePoint
+}
+
+// G2 is an element of the order-n subgroup of the sextic twist E'(Fp2).
+type G2 struct {
+	p *twistPoint
+}
+
+// GT is an element of the order-n subgroup of Fp12* (the target group of
+// the pairing).
+type GT struct {
+	p *gfP12
+}
+
+// RandomG1 returns k and g1^k for uniformly random k in [1, n).
+func RandomG1(r io.Reader) (*big.Int, *G1, error) {
+	k, err := randomScalar(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, new(G1).ScalarBaseMult(k), nil
+}
+
+// RandomG2 returns k and g2^k for uniformly random k in [1, n).
+func RandomG2(r io.Reader) (*big.Int, *G2, error) {
+	k, err := randomScalar(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, new(G2).ScalarBaseMult(k), nil
+}
+
+func randomScalar(r io.Reader) (*big.Int, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		k, err := rand.Int(r, Order)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() != 0 {
+			return k, nil
+		}
+	}
+}
+
+// --- G1 ---
+
+func (e *G1) ensure() *G1 {
+	if e.p == nil {
+		e.p = newCurvePoint().SetInfinity()
+	}
+	return e
+}
+
+// ScalarBaseMult sets e = k*g1 and returns e. It uses a precomputed
+// fixed-base window table (see fixedbase.go), making it roughly an order of
+// magnitude faster than ScalarMult on an arbitrary point.
+func (e *G1) ScalarBaseMult(k *big.Int) *G1 {
+	e.ensure()
+	e.p.Set(mulBaseFixed(k))
+	return e
+}
+
+// ScalarMult sets e = k*a and returns e.
+func (e *G1) ScalarMult(a *G1, k *big.Int) *G1 {
+	e.ensure()
+	e.p.Mul(a.p, k)
+	return e
+}
+
+// Add sets e = a+b and returns e.
+func (e *G1) Add(a, b *G1) *G1 {
+	e.ensure()
+	e.p.Add(a.p, b.p)
+	return e
+}
+
+// Neg sets e = -a and returns e.
+func (e *G1) Neg(a *G1) *G1 {
+	e.ensure()
+	e.p.Neg(a.p)
+	return e
+}
+
+// Set sets e = a and returns e.
+func (e *G1) Set(a *G1) *G1 {
+	e.ensure()
+	e.p.Set(a.p)
+	return e
+}
+
+// SetInfinity sets e to the identity element.
+func (e *G1) SetInfinity() *G1 {
+	e.ensure()
+	e.p.SetInfinity()
+	return e
+}
+
+// IsInfinity reports whether e is the identity.
+func (e *G1) IsInfinity() bool { return e.p == nil || e.p.IsInfinity() }
+
+// Equal reports whether e and a are the same group element.
+func (e *G1) Equal(a *G1) bool {
+	e.ensure()
+	a.ensure()
+	return e.p.Equal(a.p)
+}
+
+// Marshal encodes e uncompressed as x || y (64 bytes). Infinity encodes as
+// all zeros.
+func (e *G1) Marshal() []byte {
+	out := make([]byte, G1UncompressedSize)
+	if e.IsInfinity() {
+		return out
+	}
+	x, y := e.p.Affine()
+	x.FillBytes(out[:32])
+	y.FillBytes(out[32:])
+	return out
+}
+
+// Unmarshal decodes an uncompressed encoding, validating curve membership.
+func (e *G1) Unmarshal(data []byte) error {
+	if len(data) != G1UncompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	x := new(big.Int).SetBytes(data[:32])
+	y := new(big.Int).SetBytes(data[32:])
+	if x.Sign() == 0 && y.Sign() == 0 {
+		e.p.SetInfinity()
+		return nil
+	}
+	if x.Cmp(P) >= 0 || y.Cmp(P) >= 0 {
+		return ErrMalformedPoint
+	}
+	e.p.SetAffine(x, y)
+	if !e.p.IsOnCurve() {
+		return ErrMalformedPoint
+	}
+	return nil
+}
+
+// MarshalCompressed encodes e in 32 bytes: the x coordinate with the y
+// parity in the top bit. This is the on-chain format counted by the paper
+// (96-byte plain proofs, 288-byte private proofs).
+func (e *G1) MarshalCompressed() []byte {
+	out := make([]byte, G1CompressedSize)
+	if e.IsInfinity() {
+		out[0] = flagInfinity
+		return out
+	}
+	x, y := e.p.Affine()
+	x.FillBytes(out)
+	if y.Bit(0) == 1 {
+		out[0] |= flagYOdd
+	}
+	return out
+}
+
+// UnmarshalCompressed decodes a 32-byte compressed encoding.
+func (e *G1) UnmarshalCompressed(data []byte) error {
+	if len(data) != G1CompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	if data[0]&flagInfinity != 0 {
+		// Canonical infinity is exactly the flag byte followed by zeros.
+		if data[0] != flagInfinity {
+			return ErrMalformedPoint
+		}
+		for _, b := range data[1:] {
+			if b != 0 {
+				return ErrMalformedPoint
+			}
+		}
+		e.p.SetInfinity()
+		return nil
+	}
+	yOdd := data[0]&flagYOdd != 0
+	raw := make([]byte, 32)
+	copy(raw, data)
+	raw[0] &^= flagYOdd | flagInfinity
+	x := new(big.Int).SetBytes(raw)
+	if x.Cmp(P) >= 0 {
+		return ErrMalformedPoint
+	}
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, curveB)
+	modP(y2)
+	y := sqrtFp(y2)
+	if y == nil {
+		return ErrMalformedPoint
+	}
+	if (y.Bit(0) == 1) != yOdd {
+		y.Sub(P, y)
+	}
+	e.p.SetAffine(x, y)
+	return nil
+}
+
+// --- G2 ---
+
+func (e *G2) ensure() *G2 {
+	if e.p == nil {
+		e.p = newTwistPoint().SetInfinity()
+	}
+	return e
+}
+
+// ScalarBaseMult sets e = k*g2 and returns e.
+func (e *G2) ScalarBaseMult(k *big.Int) *G2 {
+	e.ensure()
+	e.p.Mul(g2Gen, k)
+	return e
+}
+
+// ScalarMult sets e = k*a and returns e.
+func (e *G2) ScalarMult(a *G2, k *big.Int) *G2 {
+	e.ensure()
+	e.p.Mul(a.p, k)
+	return e
+}
+
+// Add sets e = a+b and returns e.
+func (e *G2) Add(a, b *G2) *G2 {
+	e.ensure()
+	e.p.Add(a.p, b.p)
+	return e
+}
+
+// Neg sets e = -a and returns e.
+func (e *G2) Neg(a *G2) *G2 {
+	e.ensure()
+	e.p.Neg(a.p)
+	return e
+}
+
+// Set sets e = a and returns e.
+func (e *G2) Set(a *G2) *G2 {
+	e.ensure()
+	e.p.Set(a.p)
+	return e
+}
+
+// SetInfinity sets e to the identity element.
+func (e *G2) SetInfinity() *G2 {
+	e.ensure()
+	e.p.SetInfinity()
+	return e
+}
+
+// IsInfinity reports whether e is the identity.
+func (e *G2) IsInfinity() bool { return e.p == nil || e.p.IsInfinity() }
+
+// Equal reports whether e and a are the same group element.
+func (e *G2) Equal(a *G2) bool {
+	e.ensure()
+	a.ensure()
+	return e.p.Equal(a.p)
+}
+
+// Marshal encodes e uncompressed as x.x || x.y || y.x || y.y (128 bytes).
+func (e *G2) Marshal() []byte {
+	out := make([]byte, G2UncompressedSize)
+	if e.IsInfinity() {
+		return out
+	}
+	x, y := e.p.Affine()
+	x.x.FillBytes(out[0:32])
+	x.y.FillBytes(out[32:64])
+	y.x.FillBytes(out[64:96])
+	y.y.FillBytes(out[96:128])
+	return out
+}
+
+// Unmarshal decodes an uncompressed encoding, validating twist-curve and
+// subgroup membership (the twist has composite order, so the subgroup check
+// is mandatory for soundness).
+func (e *G2) Unmarshal(data []byte) error {
+	if len(data) != G2UncompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	coords := make([]*big.Int, 4)
+	allZero := true
+	for i := range coords {
+		coords[i] = new(big.Int).SetBytes(data[i*32 : (i+1)*32])
+		if coords[i].Cmp(P) >= 0 {
+			return ErrMalformedPoint
+		}
+		if coords[i].Sign() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		e.p.SetInfinity()
+		return nil
+	}
+	x := &gfP2{x: coords[0], y: coords[1]}
+	y := &gfP2{x: coords[2], y: coords[3]}
+	e.p.SetAffine(x, y)
+	if !e.p.IsOnCurve() {
+		return ErrMalformedPoint
+	}
+	if !newTwistPoint().Mul(e.p, Order).IsInfinity() {
+		return ErrMalformedPoint
+	}
+	return nil
+}
+
+// --- GT ---
+
+func (e *GT) ensure() *GT {
+	if e.p == nil {
+		e.p = newGFp12().SetOne()
+	}
+	return e
+}
+
+// ScalarMult sets e = a^k and returns e.
+func (e *GT) ScalarMult(a *GT, k *big.Int) *GT {
+	e.ensure()
+	e.p.Exp(a.p, k)
+	return e
+}
+
+// Add sets e = a*b (the group operation, written additively for API symmetry
+// with G1/G2) and returns e.
+func (e *GT) Add(a, b *GT) *GT {
+	e.ensure()
+	e.p.Mul(a.p, b.p)
+	return e
+}
+
+// Neg sets e = a^-1. In the cyclotomic subgroup inversion is conjugation.
+func (e *GT) Neg(a *GT) *GT {
+	e.ensure()
+	e.p.Conjugate(a.p)
+	return e
+}
+
+// Set sets e = a and returns e.
+func (e *GT) Set(a *GT) *GT {
+	e.ensure()
+	e.p.Set(a.p)
+	return e
+}
+
+// SetOne sets e to the identity element.
+func (e *GT) SetOne() *GT {
+	e.ensure()
+	e.p.SetOne()
+	return e
+}
+
+// IsOne reports whether e is the identity.
+func (e *GT) IsOne() bool { return e.p == nil || e.p.IsOne() }
+
+// Equal reports whether e and a are the same group element.
+func (e *GT) Equal(a *GT) bool {
+	e.ensure()
+	a.ensure()
+	return e.p.Equal(a.p)
+}
+
+// Marshal encodes e as 12 Fp coefficients (384 bytes), ordered from the
+// omega part's tau^2 coefficient down to the constant term.
+func (e *GT) Marshal() []byte {
+	e.ensure()
+	out := make([]byte, GTUncompressedSize)
+	coeffs := e.coeffs()
+	for i, c := range coeffs {
+		c.FillBytes(out[i*32 : (i+1)*32])
+	}
+	return out
+}
+
+func (e *GT) coeffs() []*big.Int {
+	return []*big.Int{
+		e.p.x.x.x, e.p.x.x.y, e.p.x.y.x, e.p.x.y.y, e.p.x.z.x, e.p.x.z.y,
+		e.p.y.x.x, e.p.y.x.y, e.p.y.y.x, e.p.y.y.y, e.p.y.z.x, e.p.y.z.y,
+	}
+}
+
+// Unmarshal decodes a 384-byte encoding. It validates field-element ranges
+// and membership in the order-n subgroup.
+func (e *GT) Unmarshal(data []byte) error {
+	if len(data) != GTUncompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	coeffs := e.coeffs()
+	for i, c := range coeffs {
+		c.SetBytes(data[i*32 : (i+1)*32])
+		if c.Cmp(P) >= 0 {
+			return ErrMalformedPoint
+		}
+	}
+	if !newGFp12().Exp(e.p, Order).IsOne() {
+		return ErrMalformedPoint
+	}
+	return nil
+}
+
+// MarshalCompressed encodes e in 192 bytes using the torus (T2)
+// representation: for a norm-1 element r = x + y*omega with y != 0,
+// a = (1+x)/y in Fp6 determines r = (a^2 + tau + 2a*omega)/(a^2 - tau).
+// This is the compression that makes the paper's private proof 288 bytes
+// (3 compressed G1 points + one compressed GT element).
+//
+// The identity and -1 (the only norm-1 elements with y = 0) are rejected:
+// they never occur as the Sigma-protocol commitment R = e(g1, eps)^z with
+// z != 0 (GT has prime order n, and -1 has order 2 which does not divide n).
+func (e *GT) MarshalCompressed() ([]byte, error) {
+	e.ensure()
+	if e.p.x.IsZero() {
+		return nil, errors.New("bn256: GT element with trivial omega part is not torus-compressible")
+	}
+	yInv := newGFp6().Invert(e.p.x)
+	a := newGFp6().SetOne()
+	a.Add(a, e.p.y)
+	a.Mul(a, yInv)
+
+	out := make([]byte, GTCompressedSize)
+	cs := []*big.Int{a.x.x, a.x.y, a.y.x, a.y.y, a.z.x, a.z.y}
+	for i, c := range cs {
+		c.FillBytes(out[i*32 : (i+1)*32])
+	}
+	return out, nil
+}
+
+// UnmarshalCompressed decodes a 192-byte torus encoding and validates
+// subgroup membership.
+func (e *GT) UnmarshalCompressed(data []byte) error {
+	if len(data) != GTCompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	a := newGFp6()
+	cs := []*big.Int{a.x.x, a.x.y, a.y.x, a.y.y, a.z.x, a.z.y}
+	for i, c := range cs {
+		c.SetBytes(data[i*32 : (i+1)*32])
+		if c.Cmp(P) >= 0 {
+			return ErrMalformedPoint
+		}
+	}
+	// r = (a^2 + tau + 2a*omega) / (a^2 - tau)
+	a2 := newGFp6().Mul(a, a)
+	tau := newGFp6()
+	tau.y.SetOne() // the element tau
+	num := newGFp6().Add(a2, tau)
+	den := newGFp6().Sub(a2, tau)
+	if den.IsZero() {
+		return ErrMalformedPoint
+	}
+	den.Invert(den)
+
+	x := newGFp6().Add(a, a)
+	x.Mul(x, den)
+	y := newGFp6().Mul(num, den)
+	e.p.x.Set(x)
+	e.p.y.Set(y)
+	if !newGFp12().Exp(e.p, Order).IsOne() {
+		return ErrMalformedPoint
+	}
+	return nil
+}
+
+// --- Pairing ---
+
+// Pair computes the optimal ate pairing e(a, b).
+func Pair(a *G1, b *G2) *GT {
+	a.ensure()
+	b.ensure()
+	return &GT{p: pair(a.p, b.p)}
+}
+
+// MillerLoop returns the unreduced pairing value of (a, b). Products of
+// Miller loop outputs can share a single final exponentiation via
+// FinalExponentiate, which is how the verifier folds the four pairings of
+// the paper's Eq. 2 into one.
+func MillerLoop(a *G1, b *G2) *GT {
+	a.ensure()
+	b.ensure()
+	return &GT{p: miller(b.p, a.p)}
+}
+
+// FinalExponentiate maps an unreduced pairing value into GT.
+func FinalExponentiate(a *GT) *GT {
+	a.ensure()
+	return &GT{p: finalExponentiationFast(a.p)}
+}
+
+// PairingCheck reports whether the product of pairings over all pairs is the
+// identity, sharing one final exponentiation.
+func PairingCheck(a []*G1, b []*G2) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	acc := newGFp12().SetOne()
+	for i := range a {
+		a[i].ensure()
+		b[i].ensure()
+		acc.Mul(acc, miller(b[i].p, a[i].p))
+	}
+	return finalExponentiationFast(acc).IsOne()
+}

@@ -1,0 +1,164 @@
+// Package bn256 implements the 254-bit Barreto-Naehrig pairing-friendly
+// elliptic curve known as alt_bn128 (the curve exposed by the Ethereum
+// pairing precompiles and referenced by the paper as its BN256 instantiation),
+// together with the optimal ate pairing e: G1 x G2 -> GT.
+//
+// The implementation is self-contained (math/big only). All derived
+// constants -- the field prime, the group order, Frobenius coefficients,
+// twist cofactor, and the final-exponentiation hard part -- are computed at
+// package initialization from the single BN parameter u and validated by
+// consistency checks, so a transcription error in any constant fails fast
+// at startup instead of producing subtly wrong pairings.
+//
+// Design choices favor auditability over raw speed: field elements are
+// big.Int values, the Miller loop runs in affine coordinates, and the
+// final exponentiation's hard part is a plain square-and-multiply by the
+// exact exponent (p^4 - p^2 + 1)/n. Group operations use Jacobian
+// coordinates. See the package tests for the bilinearity, non-degeneracy
+// and marshaling properties that pin the implementation down.
+package bn256
+
+import "math/big"
+
+var (
+	// u is the BN parameter. Every other constant derives from it:
+	//	p = 36u^4 + 36u^3 + 24u^2 + 6u + 1
+	//	n = 36u^4 + 36u^3 + 18u^2 + 6u + 1
+	u = bigFromBase10("4965661367192848881")
+
+	// P is the prime of the base field Fp.
+	P *big.Int
+
+	// Order is the order n of G1, G2 and GT (a prime).
+	Order *big.Int
+
+	// loopCount is 6u+2, the Miller loop length of the optimal ate pairing.
+	loopCount *big.Int
+
+	// twistCofactor is 2p - n, the cofactor of the order-n subgroup of the
+	// sextic twist E'(Fp2).
+	twistCofactor *big.Int
+
+	// hardExponent is (p^4 - p^2 + 1)/n, the hard part of the final
+	// exponentiation.
+	hardExponent *big.Int
+
+	// pPlus1Over4 is the exponent used for square roots in Fp (p = 3 mod 4).
+	pPlus1Over4 *big.Int
+
+	// curveB is the constant of E: y^2 = x^3 + 3 over Fp.
+	curveB = big.NewInt(3)
+
+	// xi is the sextic non-residue i+9 in Fp2 defining the tower
+	// Fp6 = Fp2[tau]/(tau^3 - xi) and Fp12 = Fp6[omega]/(omega^2 - tau).
+	xi *gfP2
+
+	// twistB is 3/xi, the constant of the twist E': y^2 = x^3 + 3/xi.
+	twistB *gfP2
+
+	// Frobenius coefficients, all derived from xi at init.
+	xiToPMinus1Over6         *gfP2    // xi^((p-1)/6)
+	xiToPMinus1Over3         *gfP2    // xi^((p-1)/3)
+	xiToPMinus1Over2         *gfP2    // xi^((p-1)/2)
+	xiTo2PMinus2Over3        *gfP2    // xi^(2(p-1)/3)
+	xiToPSquaredMinus1Over6  *big.Int // xi^((p^2-1)/6), lies in Fp
+	xiToPSquaredMinus1Over3  *big.Int // xi^((p^2-1)/3), a primitive cube root of unity in Fp
+	xiTo2PSquaredMinus2Over3 *big.Int // its square, also in Fp
+)
+
+func bigFromBase10(s string) *big.Int {
+	n, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("bn256: invalid base-10 constant: " + s)
+	}
+	return n
+}
+
+// evalBNPoly evaluates 36u^4 + 36u^3 + c2*u^2 + 6u + 1 for the given
+// quadratic coefficient c2 (24 yields the field prime, 18 the group order).
+func evalBNPoly(u *big.Int, c2 int64) *big.Int {
+	u2 := new(big.Int).Mul(u, u)
+	u3 := new(big.Int).Mul(u2, u)
+	u4 := new(big.Int).Mul(u3, u)
+
+	r := new(big.Int).Mul(u4, big.NewInt(36))
+	r.Add(r, new(big.Int).Mul(u3, big.NewInt(36)))
+	r.Add(r, new(big.Int).Mul(u2, big.NewInt(c2)))
+	r.Add(r, new(big.Int).Mul(u, big.NewInt(6)))
+	r.Add(r, big.NewInt(1))
+	return r
+}
+
+func init() {
+	P = evalBNPoly(u, 24)
+	Order = evalBNPoly(u, 18)
+
+	if P.BitLen() != 254 || Order.BitLen() != 254 {
+		panic("bn256: derived p or n has unexpected bit length")
+	}
+	if !P.ProbablyPrime(32) || !Order.ProbablyPrime(32) {
+		panic("bn256: derived p or n is not prime")
+	}
+	if new(big.Int).Mod(P, big.NewInt(4)).Int64() != 3 {
+		panic("bn256: p is not 3 mod 4")
+	}
+
+	pPlus1Over4 = new(big.Int).Add(P, big.NewInt(1))
+	pPlus1Over4.Rsh(pPlus1Over4, 2)
+
+	loopCount = new(big.Int).Mul(u, big.NewInt(6))
+	loopCount.Add(loopCount, big.NewInt(2))
+
+	twistCofactor = new(big.Int).Lsh(P, 1)
+	twistCofactor.Sub(twistCofactor, Order)
+
+	// hardExponent = (p^4 - p^2 + 1)/n, which must divide exactly.
+	p2 := new(big.Int).Mul(P, P)
+	p4 := new(big.Int).Mul(p2, p2)
+	h := new(big.Int).Sub(p4, p2)
+	h.Add(h, big.NewInt(1))
+	var rem big.Int
+	hardExponent, _ = new(big.Int).QuoRem(h, Order, &rem)
+	if rem.Sign() != 0 {
+		panic("bn256: (p^4 - p^2 + 1) not divisible by n")
+	}
+
+	xi = &gfP2{x: big.NewInt(1), y: big.NewInt(9)}
+	twistB = newGFp2().Invert(xi)
+	twistB.MulScalar(twistB, curveB)
+
+	// Frobenius coefficients.
+	pMinus1 := new(big.Int).Sub(P, big.NewInt(1))
+	xiToPMinus1Over6 = newGFp2().Exp(xi, new(big.Int).Div(pMinus1, big.NewInt(6)))
+	xiToPMinus1Over3 = newGFp2().Exp(xi, new(big.Int).Div(pMinus1, big.NewInt(3)))
+	xiToPMinus1Over2 = newGFp2().Exp(xi, new(big.Int).Div(pMinus1, big.NewInt(2)))
+	xiTo2PMinus2Over3 = newGFp2().Square(xiToPMinus1Over3)
+
+	p2Minus1 := new(big.Int).Sub(p2, big.NewInt(1))
+	t := newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(6)))
+	if t.x.Sign() != 0 {
+		panic("bn256: xi^((p^2-1)/6) not in Fp")
+	}
+	xiToPSquaredMinus1Over6 = new(big.Int).Set(t.y)
+
+	t = newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(3)))
+	if t.x.Sign() != 0 {
+		panic("bn256: xi^((p^2-1)/3) not in Fp")
+	}
+	xiToPSquaredMinus1Over3 = new(big.Int).Set(t.y)
+	xiTo2PSquaredMinus2Over3 = new(big.Int).Mul(xiToPSquaredMinus1Over3, xiToPSquaredMinus1Over3)
+	xiTo2PSquaredMinus2Over3.Mod(xiTo2PSquaredMinus2Over3, P)
+
+	// xi^((p^2-1)/2) must be -1 (xi is a quadratic non-residue in Fp2);
+	// the optimal-ate adjustment step relies on it.
+	t = newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(2)))
+	minusOne := new(big.Int).Sub(P, big.NewInt(1))
+	if t.x.Sign() != 0 || t.y.Cmp(minusOne) != 0 {
+		panic("bn256: xi^((p^2-1)/2) != -1")
+	}
+
+	initGenerators()
+}
+
+// modP reduces v into [0, p).
+func modP(v *big.Int) *big.Int { return v.Mod(v, P) }

@@ -1,0 +1,234 @@
+package bn256
+
+import "math/big"
+
+// curvePoint is a point on E: y^2 = x^3 + 3 over Fp in Jacobian coordinates
+// (x, y, z); the affine point is (x/z^2, y/z^3), and z = 0 encodes the point
+// at infinity.
+type curvePoint struct {
+	x, y, z *big.Int
+}
+
+func newCurvePoint() *curvePoint {
+	return &curvePoint{x: new(big.Int), y: new(big.Int), z: new(big.Int)}
+}
+
+func (c *curvePoint) Set(a *curvePoint) *curvePoint {
+	c.x.Set(a.x)
+	c.y.Set(a.y)
+	c.z.Set(a.z)
+	return c
+}
+
+func (c *curvePoint) SetInfinity() *curvePoint {
+	c.x.SetInt64(1)
+	c.y.SetInt64(1)
+	c.z.SetInt64(0)
+	return c
+}
+
+func (c *curvePoint) IsInfinity() bool { return c.z.Sign() == 0 }
+
+// SetAffine sets c to the affine point (x, y) without validation.
+func (c *curvePoint) SetAffine(x, y *big.Int) *curvePoint {
+	c.x.Mod(x, P)
+	c.y.Mod(y, P)
+	c.z.SetInt64(1)
+	return c
+}
+
+// IsOnCurve reports whether c satisfies the curve equation (infinity counts).
+func (c *curvePoint) IsOnCurve() bool {
+	if c.IsInfinity() {
+		return true
+	}
+	x, y := c.Affine()
+	lhs := new(big.Int).Mul(y, y)
+	modP(lhs)
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, curveB)
+	modP(rhs)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Affine returns the affine coordinates of c. It panics on infinity.
+func (c *curvePoint) Affine() (x, y *big.Int) {
+	if c.IsInfinity() {
+		panic("bn256: affine coordinates of the point at infinity")
+	}
+	zInv := new(big.Int).ModInverse(c.z, P)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	x = new(big.Int).Mul(c.x, zInv2)
+	modP(x)
+	zInv2.Mul(zInv2, zInv)
+	y = new(big.Int).Mul(c.y, zInv2)
+	modP(y)
+	return x, y
+}
+
+// MakeAffine normalizes c in place to z = 1 (or infinity).
+func (c *curvePoint) MakeAffine() *curvePoint {
+	if c.IsInfinity() || c.z.Cmp(bigOne) == 0 {
+		return c
+	}
+	x, y := c.Affine()
+	c.x.Set(x)
+	c.y.Set(y)
+	c.z.SetInt64(1)
+	return c
+}
+
+func (c *curvePoint) Equal(a *curvePoint) bool {
+	if c.IsInfinity() || a.IsInfinity() {
+		return c.IsInfinity() == a.IsInfinity()
+	}
+	// Compare in affine form to be representation independent.
+	cx, cy := c.Affine()
+	ax, ay := a.Affine()
+	return cx.Cmp(ax) == 0 && cy.Cmp(ay) == 0
+}
+
+func (c *curvePoint) Neg(a *curvePoint) *curvePoint {
+	c.x.Set(a.x)
+	c.y.Neg(a.y)
+	modP(c.y)
+	c.z.Set(a.z)
+	return c
+}
+
+// Double sets c = 2a using the standard Jacobian doubling formulas for a = 0
+// curves (dbl-2009-l).
+func (c *curvePoint) Double(a *curvePoint) *curvePoint {
+	if a.IsInfinity() {
+		return c.SetInfinity()
+	}
+	A := new(big.Int).Mul(a.x, a.x)
+	modP(A)
+	B := new(big.Int).Mul(a.y, a.y)
+	modP(B)
+	C := new(big.Int).Mul(B, B)
+	modP(C)
+
+	d := new(big.Int).Add(a.x, B)
+	d.Mul(d, d)
+	d.Sub(d, A)
+	d.Sub(d, C)
+	d.Lsh(d, 1)
+	modP(d)
+
+	e := new(big.Int).Lsh(A, 1)
+	e.Add(e, A)
+	modP(e)
+
+	f := new(big.Int).Mul(e, e)
+	modP(f)
+
+	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
+	modP(x3)
+
+	y3 := new(big.Int).Sub(d, x3)
+	y3.Mul(y3, e)
+	y3.Sub(y3, new(big.Int).Lsh(C, 3))
+	modP(y3)
+
+	z3 := new(big.Int).Mul(a.y, a.z)
+	z3.Lsh(z3, 1)
+	modP(z3)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Add sets c = a + b using the general Jacobian addition formulas
+// (add-2007-bl).
+func (c *curvePoint) Add(a, b *curvePoint) *curvePoint {
+	if a.IsInfinity() {
+		return c.Set(b)
+	}
+	if b.IsInfinity() {
+		return c.Set(a)
+	}
+
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	modP(z1z1)
+	z2z2 := new(big.Int).Mul(b.z, b.z)
+	modP(z2z2)
+
+	u1 := new(big.Int).Mul(a.x, z2z2)
+	modP(u1)
+	u2 := new(big.Int).Mul(b.x, z1z1)
+	modP(u2)
+
+	s1 := new(big.Int).Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	modP(s1)
+	s2 := new(big.Int).Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+	modP(s2)
+
+	h := new(big.Int).Sub(u2, u1)
+	modP(h)
+	r := new(big.Int).Sub(s2, s1)
+	modP(r)
+
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return c.Double(a)
+		}
+		return c.SetInfinity()
+	}
+	r.Lsh(r, 1)
+	modP(r)
+
+	i := new(big.Int).Lsh(h, 1)
+	i.Mul(i, i)
+	modP(i)
+	j := new(big.Int).Mul(h, i)
+	modP(j)
+
+	v := new(big.Int).Mul(u1, i)
+	modP(v)
+
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, new(big.Int).Lsh(v, 1))
+	modP(x3)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	t := new(big.Int).Mul(s1, j)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	modP(y3)
+
+	z3 := new(big.Int).Add(a.z, b.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+	modP(z3)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Mul sets c = k*a by double-and-add.
+func (c *curvePoint) Mul(a *curvePoint, k *big.Int) *curvePoint {
+	sum := newCurvePoint().SetInfinity()
+	if k.Sign() < 0 {
+		na := newCurvePoint().Neg(a)
+		return c.Mul(na, new(big.Int).Neg(k))
+	}
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		sum.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(sum, a)
+		}
+	}
+	return c.Set(sum)
+}

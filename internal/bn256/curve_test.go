@@ -1,0 +1,171 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func randCurvePoint(t *testing.T) *curvePoint {
+	t.Helper()
+	k, err := rand.Int(rand.Reader, Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newCurvePoint().Mul(g1Gen, k)
+}
+
+func randTwistPoint(t *testing.T) *twistPoint {
+	t.Helper()
+	k, err := rand.Int(rand.Reader, Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTwistPoint().Mul(g2Gen, k)
+}
+
+func TestCurveGroupLaws(t *testing.T) {
+	a, b, c := randCurvePoint(t), randCurvePoint(t), randCurvePoint(t)
+
+	// Closure.
+	sum := newCurvePoint().Add(a, b)
+	if !sum.IsOnCurve() {
+		t.Fatal("sum off curve")
+	}
+	// Commutativity.
+	if !sum.Equal(newCurvePoint().Add(b, a)) {
+		t.Fatal("addition not commutative")
+	}
+	// Associativity.
+	l := newCurvePoint().Add(newCurvePoint().Add(a, b), c)
+	r := newCurvePoint().Add(a, newCurvePoint().Add(b, c))
+	if !l.Equal(r) {
+		t.Fatal("addition not associative")
+	}
+	// Identity.
+	inf := newCurvePoint().SetInfinity()
+	if !newCurvePoint().Add(a, inf).Equal(a) {
+		t.Fatal("a + O != a")
+	}
+	// Inverse.
+	na := newCurvePoint().Neg(a)
+	if !newCurvePoint().Add(a, na).IsInfinity() {
+		t.Fatal("a + (-a) != O")
+	}
+	// Double consistency.
+	if !newCurvePoint().Double(a).Equal(newCurvePoint().Add(a, a)) {
+		t.Fatal("2a != a + a")
+	}
+	// Equal must see through different Jacobian representations: a added
+	// to infinity via Add keeps z=..., while Mul-by-1 normalizes
+	// differently.
+	viaMul := newCurvePoint().Mul(a, big.NewInt(1))
+	if !viaMul.Equal(a) {
+		t.Fatal("representation-sensitive equality")
+	}
+}
+
+func TestTwistGroupLaws(t *testing.T) {
+	a, b, c := randTwistPoint(t), randTwistPoint(t), randTwistPoint(t)
+
+	sum := newTwistPoint().Add(a, b)
+	if !sum.IsOnCurve() {
+		t.Fatal("sum off twist")
+	}
+	if !sum.Equal(newTwistPoint().Add(b, a)) {
+		t.Fatal("twist addition not commutative")
+	}
+	l := newTwistPoint().Add(newTwistPoint().Add(a, b), c)
+	r := newTwistPoint().Add(a, newTwistPoint().Add(b, c))
+	if !l.Equal(r) {
+		t.Fatal("twist addition not associative")
+	}
+	inf := newTwistPoint().SetInfinity()
+	if !newTwistPoint().Add(a, inf).Equal(a) {
+		t.Fatal("a + O != a on twist")
+	}
+	na := newTwistPoint().Neg(a)
+	if !newTwistPoint().Add(a, na).IsInfinity() {
+		t.Fatal("a + (-a) != O on twist")
+	}
+	if !newTwistPoint().Double(a).Equal(newTwistPoint().Add(a, a)) {
+		t.Fatal("2a != a + a on twist")
+	}
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	a, _ := rand.Int(rand.Reader, Order)
+	b, _ := rand.Int(rand.Reader, Order)
+	sum := new(big.Int).Add(a, b)
+
+	// (a+b)G = aG + bG on both groups.
+	g1ab := newCurvePoint().Mul(g1Gen, sum)
+	g1a := newCurvePoint().Mul(g1Gen, a)
+	g1b := newCurvePoint().Mul(g1Gen, b)
+	if !g1ab.Equal(newCurvePoint().Add(g1a, g1b)) {
+		t.Fatal("G1 scalar mult not additive")
+	}
+	g2ab := newTwistPoint().Mul(g2Gen, sum)
+	g2a := newTwistPoint().Mul(g2Gen, a)
+	g2b := newTwistPoint().Mul(g2Gen, b)
+	if !g2ab.Equal(newTwistPoint().Add(g2a, g2b)) {
+		t.Fatal("G2 scalar mult not additive")
+	}
+}
+
+func TestNegativeScalarMult(t *testing.T) {
+	k := big.NewInt(-5)
+	viaNeg := newCurvePoint().Mul(g1Gen, k)
+	pos := newCurvePoint().Mul(g1Gen, big.NewInt(5))
+	pos.Neg(pos)
+	if !viaNeg.Equal(pos) {
+		t.Fatal("(-5)G != -(5G)")
+	}
+	tw := newTwistPoint().Mul(g2Gen, k)
+	twPos := newTwistPoint().Mul(g2Gen, big.NewInt(5))
+	twPos.Neg(twPos)
+	if !tw.Equal(twPos) {
+		t.Fatal("(-5)H != -(5H) on twist")
+	}
+}
+
+func TestAffineOfInfinityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newCurvePoint().SetInfinity().Affine()
+}
+
+func TestDoubleOfYZeroIsInfinity(t *testing.T) {
+	// No order-2 points exist on either curve (odd group orders), but the
+	// doubling code must handle the z=0 input gracefully.
+	inf := newCurvePoint().SetInfinity()
+	if !newCurvePoint().Double(inf).IsInfinity() {
+		t.Fatal("2*O != O")
+	}
+	tinf := newTwistPoint().SetInfinity()
+	if !newTwistPoint().Double(tinf).IsInfinity() {
+		t.Fatal("2*O != O on twist")
+	}
+}
+
+func TestGTGroupProperties(t *testing.T) {
+	g := Pair(new(G1).ScalarBaseMult(big.NewInt(1)), new(G2).ScalarBaseMult(big.NewInt(1)))
+	a, _ := rand.Int(rand.Reader, Order)
+	b, _ := rand.Int(rand.Reader, Order)
+
+	ga := new(GT).ScalarMult(g, a)
+	gb := new(GT).ScalarMult(g, b)
+	ab := new(big.Int).Add(a, b)
+	gab := new(GT).ScalarMult(g, ab)
+	if !gab.Equal(new(GT).Add(ga, gb)) {
+		t.Fatal("GT exponent addition broken")
+	}
+	// Inverse via conjugation (cyclotomic subgroup property).
+	inv := new(GT).Neg(ga)
+	if !new(GT).Add(ga, inv).IsOne() {
+		t.Fatal("GT conjugate is not the inverse")
+	}
+}

@@ -1,0 +1,81 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestFastFinalExpMatchesNaive pins the optimized u-chain hard part to the
+// provably-correct naive exponentiation by (p^4-p^2+1)/n. The production
+// pairing path is only allowed to use the fast version because this holds.
+func TestFastFinalExpMatchesNaive(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		a, _ := rand.Int(rand.Reader, Order)
+		b, _ := rand.Int(rand.Reader, Order)
+		p := newCurvePoint().Mul(g1Gen, a)
+		q := newTwistPoint().Mul(g2Gen, b)
+		m := miller(q, p)
+		naive := finalExponentiation(m)
+		fast := finalExponentiationFast(m)
+		if !naive.Equal(fast) {
+			t.Fatalf("iteration %d: fast final exponentiation disagrees with naive reference", i)
+		}
+	}
+}
+
+// TestFixedBaseMatchesGeneric pins the windowed fixed-base path to the
+// generic double-and-add ladder.
+func TestFixedBaseMatchesGeneric(t *testing.T) {
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Set(Order), // reduces to zero
+	}
+	for i := 0; i < 10; i++ {
+		k, _ := rand.Int(rand.Reader, Order)
+		cases = append(cases, k)
+	}
+	for _, k := range cases {
+		fast := mulBaseFixed(k)
+		slow := newCurvePoint().Mul(g1Gen, k)
+		if !fast.Equal(slow) {
+			t.Fatalf("fixed-base mult disagrees with ladder for k=%v", k)
+		}
+	}
+}
+
+func BenchmarkAblationFinalExpNaive(b *testing.B) {
+	m := miller(g2Gen, g1Gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiation(m)
+	}
+}
+
+func BenchmarkAblationFinalExpFast(b *testing.B) {
+	m := miller(g2Gen, g1Gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiationFast(m)
+	}
+}
+
+func BenchmarkAblationBaseMultLadder(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, Order)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newCurvePoint().Mul(g1Gen, k)
+	}
+}
+
+func BenchmarkAblationBaseMultFixed(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, Order)
+	mulBaseFixed(k) // warm the table outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulBaseFixed(k)
+	}
+}

@@ -1,0 +1,76 @@
+package bn256
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// Wire-decoder fuzzing: group-element parsers face attacker-controlled
+// chain bytes, so they must never panic and must accept only canonical
+// encodings (accept -> re-marshal byte-identical).
+
+func FuzzG1UnmarshalCompressed(f *testing.F) {
+	_, p, _ := RandomG1(rand.Reader)
+	f.Add(p.MarshalCompressed())
+	f.Add(new(G1).SetInfinity().MarshalCompressed())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G1
+		if err := q.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		if !bytes.Equal(q.MarshalCompressed(), data) {
+			t.Fatal("accepted non-canonical compressed G1")
+		}
+	})
+}
+
+func FuzzG1Unmarshal(f *testing.F) {
+	_, p, _ := RandomG1(rand.Reader)
+	f.Add(p.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G1
+		if err := q.Unmarshal(data); err != nil {
+			return
+		}
+		if !bytes.Equal(q.Marshal(), data) {
+			t.Fatal("accepted non-canonical G1")
+		}
+	})
+}
+
+func FuzzG2UnmarshalCompressed(f *testing.F) {
+	_, p, _ := RandomG2(rand.Reader)
+	f.Add(p.MarshalCompressed())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G2
+		if err := q.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		if !bytes.Equal(q.MarshalCompressed(), data) {
+			t.Fatal("accepted non-canonical compressed G2")
+		}
+	})
+}
+
+func FuzzGTUnmarshalCompressed(f *testing.F) {
+	g := Pair(new(G1).ScalarBaseMult(bigOne), new(G2).ScalarBaseMult(bigOne))
+	enc, err := g.MarshalCompressed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q GT
+		if err := q.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		re, err := q.MarshalCompressed()
+		if err != nil {
+			t.Fatalf("accepted GT fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted non-canonical compressed GT")
+		}
+	})
+}

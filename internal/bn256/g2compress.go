@@ -1,0 +1,82 @@
+package bn256
+
+import "math/big"
+
+// Compressed G2 encoding: the Fp2 x-coordinate (64 bytes) with flag bits
+// packed into the spare top bits of the first coordinate, mirroring the G1
+// format. The y root is selected by a parity bit: the parity of y.y, or of
+// y.x when y.y = 0 (the two roots y and -y always differ in any non-zero
+// component).
+
+// MarshalCompressed encodes e in 64 bytes.
+func (e *G2) MarshalCompressed() []byte {
+	out := make([]byte, G2CompressedSize)
+	if e.IsInfinity() {
+		out[0] = flagInfinity
+		return out
+	}
+	x, y := e.p.Affine()
+	x.x.FillBytes(out[:32])
+	x.y.FillBytes(out[32:])
+	if twistYParity(y) {
+		out[0] |= flagYOdd
+	}
+	return out
+}
+
+// UnmarshalCompressed decodes a 64-byte compressed encoding, validating
+// curve and subgroup membership.
+func (e *G2) UnmarshalCompressed(data []byte) error {
+	if len(data) != G2CompressedSize {
+		return ErrMalformedPoint
+	}
+	e.ensure()
+	if data[0]&flagInfinity != 0 {
+		// Canonical infinity is exactly the flag byte followed by zeros.
+		if data[0] != flagInfinity {
+			return ErrMalformedPoint
+		}
+		for _, b := range data[1:] {
+			if b != 0 {
+				return ErrMalformedPoint
+			}
+		}
+		e.p.SetInfinity()
+		return nil
+	}
+	wantOdd := data[0]&flagYOdd != 0
+	raw := make([]byte, 32)
+	copy(raw, data[:32])
+	raw[0] &^= flagYOdd | flagInfinity
+
+	x := &gfP2{
+		x: new(big.Int).SetBytes(raw),
+		y: new(big.Int).SetBytes(data[32:]),
+	}
+	if x.x.Cmp(P) >= 0 || x.y.Cmp(P) >= 0 {
+		return ErrMalformedPoint
+	}
+	y2 := newGFp2().Square(x)
+	y2.Mul(y2, x)
+	y2.Add(y2, twistB)
+	y := sqrtFp2(y2)
+	if y == nil {
+		return ErrMalformedPoint
+	}
+	if twistYParity(y) != wantOdd {
+		y.Neg(y)
+	}
+	e.p.SetAffine(x, y)
+	if !newTwistPoint().Mul(e.p, Order).IsInfinity() {
+		return ErrMalformedPoint
+	}
+	return nil
+}
+
+// twistYParity returns the canonical sign bit of a twist y-coordinate.
+func twistYParity(y *gfP2) bool {
+	if y.y.Sign() != 0 {
+		return y.y.Bit(0) == 1
+	}
+	return y.x.Bit(0) == 1
+}

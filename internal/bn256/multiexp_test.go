@@ -1,0 +1,89 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestMultiScalarMultMatchesNaive(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 17, 64} {
+		points := make([]*G1, k)
+		scalars := make([]*big.Int, k)
+		naive := new(G1).SetInfinity()
+		for i := 0; i < k; i++ {
+			_, p, err := RandomG1(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, _ := rand.Int(rand.Reader, Order)
+			points[i] = p
+			scalars[i] = s
+			naive.Add(naive, new(G1).ScalarMult(p, s))
+		}
+		got := new(G1).MultiScalarMult(points, scalars)
+		if !got.Equal(naive) {
+			t.Fatalf("k=%d: MultiScalarMult disagrees with naive sum", k)
+		}
+	}
+}
+
+func TestMultiScalarMultEdgeCases(t *testing.T) {
+	_, p, _ := RandomG1(rand.Reader)
+
+	// All-zero scalars.
+	got := new(G1).MultiScalarMult([]*G1{p, p}, []*big.Int{new(big.Int), new(big.Int)})
+	if !got.IsInfinity() {
+		t.Fatal("all-zero MSM is not infinity")
+	}
+
+	// Scalars above the group order must reduce.
+	s, _ := rand.Int(rand.Reader, Order)
+	big1 := new(big.Int).Add(s, Order)
+	a := new(G1).MultiScalarMult([]*G1{p}, []*big.Int{s})
+	b := new(G1).MultiScalarMult([]*G1{p}, []*big.Int{big1})
+	if !a.Equal(b) {
+		t.Fatal("MSM does not reduce scalars mod n")
+	}
+}
+
+func TestMultiScalarMultPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	new(G1).MultiScalarMult([]*G1{}, []*big.Int{big.NewInt(1)})
+}
+
+func BenchmarkScalarMultG1(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	s, _ := rand.Int(rand.Reader, Order)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G1).ScalarMult(p, s)
+	}
+}
+
+func BenchmarkMultiScalarMult300(b *testing.B) {
+	const k = 300
+	points := make([]*G1, k)
+	scalars := make([]*big.Int, k)
+	for i := 0; i < k; i++ {
+		_, points[i], _ = RandomG1(rand.Reader)
+		scalars[i], _ = rand.Int(rand.Reader, Order)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G1).MultiScalarMult(points, scalars)
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}

@@ -1,0 +1,198 @@
+package bn256
+
+import "math/big"
+
+// This file implements the optimal ate pairing
+//
+//	e(P, Q) = f_{6u+2,Q}(P) * l_{[6u+2]Q, pi(Q)}(P) * l_{[6u+2]Q+pi(Q), -pi^2(Q)}(P)
+//
+// raised to (p^12-1)/n, with Q on the sextic twist and lines evaluated at P
+// through the untwist map (x, y) -> (x*w^2, y*w^3), w^6 = xi.
+//
+// The Miller loop keeps the accumulator point T in affine coordinates: each
+// step costs one Fp2 inversion, which at ~100 steps total is negligible next
+// to the Fp12 arithmetic, and affine line functions are far easier to audit:
+//
+//	tangent/chord with slope lambda through T evaluated at P = (xP, yP):
+//	    l(P) = yP - lambda*xP*w + (lambda*xT - yT)*w^3.
+
+// affTwist is an affine twist point used by the Miller loop. infinity is
+// tracked explicitly.
+type affTwist struct {
+	x, y     *gfP2
+	infinity bool
+}
+
+func affFromTwist(t *twistPoint) *affTwist {
+	if t.IsInfinity() {
+		return &affTwist{x: newGFp2(), y: newGFp2(), infinity: true}
+	}
+	x, y := t.Affine()
+	return &affTwist{x: x, y: y}
+}
+
+// lineEval builds the sparse Fp12 element a + b*w + c*w^3 with
+// a in Fp, b, c in Fp2. In the tower Fp12 = Fp6[w], Fp6 = Fp2[w^2]:
+// w^0 -> y.z, w^1 -> x.z, w^2 -> y.y, w^3 -> x.y.
+func lineEval(a *big.Int, b, c *gfP2) *gfP12 {
+	l := newGFp12()
+	l.y.z.SetScalar(a)
+	l.x.z.Set(b)
+	l.x.y.Set(c)
+	return l
+}
+
+// lineDouble returns the tangent line at T evaluated at P and replaces T
+// with 2T (affine). If the tangent is vertical (yT = 0), it returns the
+// vertical line and sets T to infinity.
+func lineDouble(t *affTwist, px, py *big.Int) *gfP12 {
+	if t.infinity {
+		one := newGFp12().SetOne()
+		return one
+	}
+	if t.y.IsZero() {
+		l := verticalLine(t.x, px)
+		t.infinity = true
+		return l
+	}
+	// lambda = 3*xT^2 / (2*yT)
+	num := newGFp2().Square(t.x)
+	three := newGFp2().Double(num)
+	num.Add(three, num)
+	den := newGFp2().Double(t.y)
+	lambda := newGFp2().Invert(den)
+	lambda.Mul(lambda, num)
+
+	l := lineFromSlope(lambda, t, px, py)
+
+	// x3 = lambda^2 - 2 xT ; y3 = lambda (xT - x3) - yT
+	x3 := newGFp2().Square(lambda)
+	tx2 := newGFp2().Double(t.x)
+	x3.Sub(x3, tx2)
+	y3 := newGFp2().Sub(t.x, x3)
+	y3.Mul(y3, lambda)
+	y3.Sub(y3, t.y)
+	t.x, t.y = x3, y3
+	return l
+}
+
+// lineAdd returns the chord line through T and Q evaluated at P and replaces
+// T with T+Q (affine). Degenerate cases (T = Q, T = -Q, infinities) fall
+// back to the tangent or the vertical line.
+func lineAdd(t *affTwist, q *affTwist, px, py *big.Int) *gfP12 {
+	if q.infinity {
+		return newGFp12().SetOne()
+	}
+	if t.infinity {
+		t.x, t.y = newGFp2().Set(q.x), newGFp2().Set(q.y)
+		t.infinity = false
+		return newGFp12().SetOne()
+	}
+	if t.x.Equal(q.x) {
+		if t.y.Equal(q.y) {
+			return lineDouble(t, px, py)
+		}
+		// T = -Q: vertical line, T becomes infinity.
+		l := verticalLine(t.x, px)
+		t.infinity = true
+		return l
+	}
+	// lambda = (yQ - yT) / (xQ - xT)
+	num := newGFp2().Sub(q.y, t.y)
+	den := newGFp2().Sub(q.x, t.x)
+	lambda := newGFp2().Invert(den)
+	lambda.Mul(lambda, num)
+
+	l := lineFromSlope(lambda, t, px, py)
+
+	x3 := newGFp2().Square(lambda)
+	x3.Sub(x3, t.x)
+	x3.Sub(x3, q.x)
+	y3 := newGFp2().Sub(t.x, x3)
+	y3.Mul(y3, lambda)
+	y3.Sub(y3, t.y)
+	t.x, t.y = x3, y3
+	return l
+}
+
+// lineFromSlope evaluates the line with slope lambda through T at P:
+// l = yP - lambda*xP*w + (lambda*xT - yT)*w^3.
+func lineFromSlope(lambda *gfP2, t *affTwist, px, py *big.Int) *gfP12 {
+	b := newGFp2().MulScalar(lambda, px)
+	b.Neg(b)
+	c := newGFp2().Mul(lambda, t.x)
+	c.Sub(c, t.y)
+	return lineEval(py, b, c)
+}
+
+// verticalLine evaluates the vertical line x = xT at P: l = xP - xT*w^2.
+func verticalLine(xT *gfP2, px *big.Int) *gfP12 {
+	l := newGFp12()
+	l.y.z.SetScalar(px)
+	l.y.y.Neg(xT)
+	return l
+}
+
+// frobTwist computes pi(Q) = (conj(x)*xi^((p-1)/3), conj(y)*xi^((p-1)/2))
+// for an affine twist point.
+func frobTwist(q *affTwist) *affTwist {
+	x := newGFp2().Conjugate(q.x)
+	x.Mul(x, xiToPMinus1Over3)
+	y := newGFp2().Conjugate(q.y)
+	y.Mul(y, xiToPMinus1Over2)
+	return &affTwist{x: x, y: y}
+}
+
+// negFrobTwistSquared computes -pi^2(Q) = (x*xi^((p^2-1)/3), y), using
+// xi^((p^2-1)/2) = -1 (validated at init).
+func negFrobTwistSquared(q *affTwist) *affTwist {
+	x := newGFp2().MulScalar(q.x, xiToPSquaredMinus1Over3)
+	return &affTwist{x: x, y: newGFp2().Set(q.y)}
+}
+
+// miller computes the Miller loop value f_{6u+2,Q}(P) with the two optimal
+// ate adjustment lines, before final exponentiation.
+func miller(q *twistPoint, c *curvePoint) *gfP12 {
+	f := newGFp12().SetOne()
+	if q.IsInfinity() || c.IsInfinity() {
+		return f
+	}
+	px, py := c.Affine()
+	qa := affFromTwist(q)
+	t := &affTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
+
+	for i := loopCount.BitLen() - 2; i >= 0; i-- {
+		f.Square(f)
+		f.Mul(f, lineDouble(t, px, py))
+		if loopCount.Bit(i) != 0 {
+			f.Mul(f, lineAdd(t, qa, px, py))
+		}
+	}
+
+	q1 := frobTwist(qa)
+	q2 := negFrobTwistSquared(qa)
+	f.Mul(f, lineAdd(t, q1, px, py))
+	f.Mul(f, lineAdd(t, q2, px, py))
+	return f
+}
+
+// finalExponentiation raises f to (p^12-1)/n with a naive hard part: a
+// direct square-and-multiply by the exact exponent (p^4-p^2+1)/n. It is
+// kept as the unconditionally-correct reference implementation; the
+// production path (finalExponentiationFast in finalexp.go) must agree with
+// it on random inputs, which TestFastFinalExpMatchesNaive enforces.
+func finalExponentiation(f *gfP12) *gfP12 {
+	t := newGFp12().Conjugate(f)
+	inv := newGFp12().Invert(f)
+	t.Mul(t, inv) // f^(p^6-1)
+
+	t2 := newGFp12().FrobeniusP2(t)
+	t.Mul(t, t2) // ^(p^2+1)
+
+	return newGFp12().Exp(t, hardExponent)
+}
+
+// pair computes the full optimal ate pairing on internal representations.
+func pair(c *curvePoint, q *twistPoint) *gfP12 {
+	return finalExponentiationFast(miller(q, c))
+}

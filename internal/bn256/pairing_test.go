@@ -1,0 +1,101 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestGeneratorsValid(t *testing.T) {
+	if !g1Gen.IsOnCurve() {
+		t.Fatal("g1 generator off curve")
+	}
+	if !g2Gen.IsOnCurve() {
+		t.Fatal("g2 generator off twist")
+	}
+	if !newTwistPoint().Mul(g2Gen, Order).IsInfinity() {
+		t.Fatal("g2 generator has wrong order")
+	}
+}
+
+func TestPairNonDegenerate(t *testing.T) {
+	g1 := new(G1).ScalarBaseMult(big.NewInt(1))
+	g2 := new(G2).ScalarBaseMult(big.NewInt(1))
+	e := Pair(g1, g2)
+	if e.IsOne() {
+		t.Fatal("e(g1, g2) = 1: pairing is degenerate")
+	}
+	// e(g1, g2)^n must be 1.
+	if !new(GT).ScalarMult(e, Order).IsOne() {
+		t.Fatal("e(g1, g2)^n != 1")
+	}
+}
+
+func TestPairBilinear(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		a, err := rand.Int(rand.Reader, Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rand.Int(rand.Reader, Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		p := new(G1).ScalarBaseMult(a)
+		q := new(G2).ScalarBaseMult(b)
+		e1 := Pair(p, q)
+
+		g1 := new(G1).ScalarBaseMult(big.NewInt(1))
+		g2 := new(G2).ScalarBaseMult(big.NewInt(1))
+		ab := new(big.Int).Mul(a, b)
+		ab.Mod(ab, Order)
+		e2 := new(GT).ScalarMult(Pair(g1, g2), ab)
+
+		if !e1.Equal(e2) {
+			t.Fatalf("bilinearity failed: e(aG, bH) != e(G, H)^(ab) (a=%v b=%v)", a, b)
+		}
+	}
+}
+
+func TestPairAdditivity(t *testing.T) {
+	a, _ := rand.Int(rand.Reader, Order)
+	b, _ := rand.Int(rand.Reader, Order)
+	pa := new(G1).ScalarBaseMult(a)
+	pb := new(G1).ScalarBaseMult(b)
+	q := new(G2).ScalarBaseMult(big.NewInt(7))
+
+	sum := new(G1).Add(pa, pb)
+	e1 := Pair(sum, q)
+	e2 := new(GT).Add(Pair(pa, q), Pair(pb, q))
+	if !e1.Equal(e2) {
+		t.Fatal("e(A+B, Q) != e(A,Q)*e(B,Q)")
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	a, _ := rand.Int(rand.Reader, Order)
+	p := new(G1).ScalarBaseMult(a)
+	q := new(G2).ScalarBaseMult(big.NewInt(1))
+	np := new(G1).Neg(p)
+	// e(P, Q) * e(-P, Q) == 1
+	if !PairingCheck([]*G1{p, np}, []*G2{q, q}) {
+		t.Fatal("pairing check of e(P,Q)e(-P,Q) failed")
+	}
+	if PairingCheck([]*G1{p, p}, []*G2{q, q}) {
+		t.Fatal("pairing check accepted a non-identity product")
+	}
+}
+
+func TestPairInfinity(t *testing.T) {
+	inf1 := new(G1).SetInfinity()
+	g2 := new(G2).ScalarBaseMult(big.NewInt(5))
+	if !Pair(inf1, g2).IsOne() {
+		t.Fatal("e(O, Q) != 1")
+	}
+	g1 := new(G1).ScalarBaseMult(big.NewInt(5))
+	inf2 := new(G2).SetInfinity()
+	if !Pair(g1, inf2).IsOne() {
+		t.Fatal("e(P, O) != 1")
+	}
+}

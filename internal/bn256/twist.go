@@ -1,0 +1,205 @@
+package bn256
+
+import "math/big"
+
+// twistPoint is a point on the sextic twist E': y^2 = x^3 + 3/xi over Fp2,
+// in Jacobian coordinates. z = 0 (both components) encodes infinity.
+type twistPoint struct {
+	x, y, z *gfP2
+}
+
+func newTwistPoint() *twistPoint {
+	return &twistPoint{x: newGFp2(), y: newGFp2(), z: newGFp2()}
+}
+
+func (t *twistPoint) Set(a *twistPoint) *twistPoint {
+	t.x.Set(a.x)
+	t.y.Set(a.y)
+	t.z.Set(a.z)
+	return t
+}
+
+func (t *twistPoint) SetInfinity() *twistPoint {
+	t.x.SetOne()
+	t.y.SetOne()
+	t.z.SetZero()
+	return t
+}
+
+func (t *twistPoint) IsInfinity() bool { return t.z.IsZero() }
+
+func (t *twistPoint) SetAffine(x, y *gfP2) *twistPoint {
+	t.x.Set(x)
+	t.y.Set(y)
+	t.z.SetOne()
+	return t
+}
+
+// IsOnCurve reports whether t satisfies the twist equation.
+func (t *twistPoint) IsOnCurve() bool {
+	if t.IsInfinity() {
+		return true
+	}
+	x, y := t.Affine()
+	lhs := newGFp2().Square(y)
+	rhs := newGFp2().Square(x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, twistB)
+	return lhs.Equal(rhs)
+}
+
+// Affine returns the affine coordinates of t. It panics on infinity.
+func (t *twistPoint) Affine() (x, y *gfP2) {
+	if t.IsInfinity() {
+		panic("bn256: affine coordinates of the twist point at infinity")
+	}
+	zInv := newGFp2().Invert(t.z)
+	zInv2 := newGFp2().Square(zInv)
+	x = newGFp2().Mul(t.x, zInv2)
+	zInv2.Mul(zInv2, zInv)
+	y = newGFp2().Mul(t.y, zInv2)
+	return x, y
+}
+
+// MakeAffine normalizes t in place to z = 1 (or infinity).
+func (t *twistPoint) MakeAffine() *twistPoint {
+	if t.IsInfinity() || t.z.IsOne() {
+		return t
+	}
+	x, y := t.Affine()
+	t.x.Set(x)
+	t.y.Set(y)
+	t.z.SetOne()
+	return t
+}
+
+func (t *twistPoint) Equal(a *twistPoint) bool {
+	if t.IsInfinity() || a.IsInfinity() {
+		return t.IsInfinity() == a.IsInfinity()
+	}
+	tx, ty := t.Affine()
+	ax, ay := a.Affine()
+	return tx.Equal(ax) && ty.Equal(ay)
+}
+
+func (t *twistPoint) Neg(a *twistPoint) *twistPoint {
+	t.x.Set(a.x)
+	t.y.Neg(a.y)
+	t.z.Set(a.z)
+	return t
+}
+
+// Double sets t = 2a (Jacobian, a = 0 curve).
+func (t *twistPoint) Double(a *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return t.SetInfinity()
+	}
+	A := newGFp2().Square(a.x)
+	B := newGFp2().Square(a.y)
+	C := newGFp2().Square(B)
+
+	d := newGFp2().Add(a.x, B)
+	d.Square(d)
+	d.Sub(d, A)
+	d.Sub(d, C)
+	d.Double(d)
+
+	e := newGFp2().Double(A)
+	e.Add(e, A)
+
+	f := newGFp2().Square(e)
+
+	x3 := newGFp2().Double(d)
+	x3.Sub(f, x3)
+
+	c8 := newGFp2().Double(C)
+	c8.Double(c8)
+	c8.Double(c8)
+	y3 := newGFp2().Sub(d, x3)
+	y3.Mul(y3, e)
+	y3.Sub(y3, c8)
+
+	z3 := newGFp2().Mul(a.y, a.z)
+	z3.Double(z3)
+
+	t.x.Set(x3)
+	t.y.Set(y3)
+	t.z.Set(z3)
+	return t
+}
+
+// Add sets t = a + b (general Jacobian addition).
+func (t *twistPoint) Add(a, b *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return t.Set(b)
+	}
+	if b.IsInfinity() {
+		return t.Set(a)
+	}
+
+	z1z1 := newGFp2().Square(a.z)
+	z2z2 := newGFp2().Square(b.z)
+
+	u1 := newGFp2().Mul(a.x, z2z2)
+	u2 := newGFp2().Mul(b.x, z1z1)
+
+	s1 := newGFp2().Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	s2 := newGFp2().Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+
+	h := newGFp2().Sub(u2, u1)
+	r := newGFp2().Sub(s2, s1)
+
+	if h.IsZero() {
+		if r.IsZero() {
+			return t.Double(a)
+		}
+		return t.SetInfinity()
+	}
+	r.Double(r)
+
+	i := newGFp2().Double(h)
+	i.Square(i)
+	j := newGFp2().Mul(h, i)
+
+	v := newGFp2().Mul(u1, i)
+
+	x3 := newGFp2().Square(r)
+	x3.Sub(x3, j)
+	v2 := newGFp2().Double(v)
+	x3.Sub(x3, v2)
+
+	y3 := newGFp2().Sub(v, x3)
+	y3.Mul(y3, r)
+	sj := newGFp2().Mul(s1, j)
+	sj.Double(sj)
+	y3.Sub(y3, sj)
+
+	z3 := newGFp2().Add(a.z, b.z)
+	z3.Square(z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+
+	t.x.Set(x3)
+	t.y.Set(y3)
+	t.z.Set(z3)
+	return t
+}
+
+// Mul sets t = k*a by double-and-add.
+func (t *twistPoint) Mul(a *twistPoint, k *big.Int) *twistPoint {
+	if k.Sign() < 0 {
+		na := newTwistPoint().Neg(a)
+		return t.Mul(na, new(big.Int).Neg(k))
+	}
+	sum := newTwistPoint().SetInfinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		sum.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(sum, a)
+		}
+	}
+	return t.Set(sum)
+}

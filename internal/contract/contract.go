@@ -1,0 +1,403 @@
+// Package contract implements the smart-contract functionality of the
+// paper's Fig. 2: a state machine that escrows deposits from the data owner
+// and storage provider, issues periodic challenges from beacon randomness,
+// verifies posted proofs on chain, settles micro-payments after every
+// round, and resolves disputes by slashing.
+//
+// States follow Fig. 2 exactly:
+//
+//	⊥ --negotiated--> ACK --acked--> FREEZE --freeze--> AUDIT
+//	AUDIT --challenge--> PROVE --prove+verify--> AUDIT (next round)
+//
+// plus terminal EXPIRED/ABORTED states. Scheduling ("Ethereum Alarm Clock")
+// is modeled by block-height triggers: the contract arms a trigger height
+// and anyone may poke it once the chain reaches that height.
+package contract
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+)
+
+// State is the contract's phase.
+type State int
+
+// Contract states (Fig. 2's st variable).
+const (
+	StateInit    State = iota // ⊥: deployed, awaiting negotiation confirmation
+	StateAck                  // negotiated; awaiting provider acknowledgment
+	StateFreeze               // acked; awaiting both deposits
+	StateAudit                // deposits locked; awaiting the next challenge trigger
+	StateProve                // challenged; awaiting the provider's proof
+	StateExpired              // all rounds done; deposits returned
+	StateAborted              // a party defaulted; deposits slashed
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case StateInit:
+		return "INIT"
+	case StateAck:
+		return "ACK"
+	case StateFreeze:
+		return "FREEZE"
+	case StateAudit:
+		return "AUDIT"
+	case StateProve:
+		return "PROVE"
+	case StateExpired:
+		return "EXPIRED"
+	case StateAborted:
+		return "ABORTED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Agreement holds the negotiated terms (Fig. 2's agrmts).
+type Agreement struct {
+	Owner            chain.Address
+	Provider         chain.Address
+	Rounds           int      // num: total audit rounds over the contract duration
+	ChallengeSize    int      // k, number of challenged chunks per round
+	RoundInterval    uint64   // blocks between audits (the tunable frequency)
+	ProofDeadline    uint64   // blocks the provider has to respond
+	PaymentPerRound  *big.Int // micro-payment released to the provider per passed round
+	OwnerDeposit     *big.Int // prepaid payments escrowed by the owner
+	ProviderDeposit  *big.Int // collateral slashed to the owner on failure
+	NumChunks        int      // d, chunk count of the outsourced file
+	PublicKey        *core.PublicKey
+	PublicKeyPrivacy bool // whether the key was posted with the GT element (Fig. 4)
+}
+
+// RandomnessSource supplies per-round challenge entropy (the beacon).
+type RandomnessSource interface {
+	// Randomness returns at least 48 bytes of fresh entropy for round i.
+	Randomness(round int) ([]byte, error)
+}
+
+// RoundRecord is the audit trail of one completed round.
+type RoundRecord struct {
+	Round     int
+	Challenge *core.Challenge
+	ProofSize int
+	GasUsed   uint64
+	Passed    bool
+}
+
+// Contract is one deployed audit contract instance.
+type Contract struct {
+	Addr  chain.Address
+	Chain *chain.Chain
+	Terms Agreement
+
+	state         State
+	round         int
+	trigger       uint64 // block height that arms the next phase transition
+	challenge     *core.Challenge
+	verifyGas     uint64 // modeled execution gas per verification
+	records       []RoundRecord
+	rand          RandomnessSource
+	ownerEscrow   *big.Int
+	providerEsc   *big.Int
+	storedKeySize int
+}
+
+// Errors surfaced by contract calls.
+var (
+	ErrWrongState = errors.New("contract: call not valid in current state")
+	ErrNotTrigger = errors.New("contract: trigger height not reached")
+	ErrWrongParty = errors.New("contract: caller is not the expected party")
+)
+
+// Deploy creates the contract in state INIT. verifyGas is the modeled
+// execution gas of one on-chain verification (the cost package's Fig. 5
+// extrapolation; ~589k for the 288-byte private proof).
+func Deploy(c *chain.Chain, addr chain.Address, terms Agreement, rand RandomnessSource, verifyGas uint64) (*Contract, error) {
+	if terms.Rounds < 1 || terms.ChallengeSize < 1 || terms.NumChunks < 1 {
+		return nil, fmt.Errorf("contract: invalid agreement %+v", terms)
+	}
+	if terms.PublicKey == nil {
+		return nil, errors.New("contract: agreement missing public key")
+	}
+	return &Contract{
+		Addr:        addr,
+		Chain:       c,
+		Terms:       terms,
+		state:       StateInit,
+		rand:        rand,
+		verifyGas:   verifyGas,
+		ownerEscrow: new(big.Int),
+		providerEsc: new(big.Int),
+	}, nil
+}
+
+// State returns the current phase.
+func (k *Contract) State() State { return k.state }
+
+// Round returns the number of completed audit rounds.
+func (k *Contract) Round() int { return k.round }
+
+// Records returns the audit trail.
+func (k *Contract) Records() []RoundRecord { return append([]RoundRecord(nil), k.records...) }
+
+// Negotiate is the owner posting agrmts, params (the public key) and
+// metadata on chain ("On receive negotiated"). The serialized public key is
+// charged as calldata plus contract storage: the Fig. 4 one-time cost.
+func (k *Contract) Negotiate() error {
+	if k.state != StateInit {
+		return fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	pkBytes, err := k.Terms.PublicKey.Marshal(k.Terms.PublicKeyPrivacy)
+	if err != nil {
+		return err
+	}
+	k.storedKeySize = len(pkBytes)
+	_, err = k.Chain.Submit(&chain.Tx{
+		From:     k.Terms.Owner,
+		To:       k.Addr,
+		Data:     pkBytes,
+		ExtraGas: k.Chain.Config().Gas.StorageGas(len(pkBytes)),
+		Note:     "negotiated: post params+metadata",
+	})
+	if err != nil {
+		return err
+	}
+	k.state = StateAck
+	k.Chain.Emit("negotiated", nil)
+	return nil
+}
+
+// StoredKeyBytes reports the size of the on-chain public key (Fig. 4).
+func (k *Contract) StoredKeyBytes() int { return k.storedKeySize }
+
+// Acknowledge is the provider accepting the terms after validating the
+// authenticators off-chain ("On receive acked"). accept=false aborts the
+// contract before deposits (the denial-of-service case of Section VI-A).
+func (k *Contract) Acknowledge(from chain.Address, accept bool) error {
+	if k.state != StateAck {
+		return fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	if from != k.Terms.Provider {
+		return ErrWrongParty
+	}
+	if _, err := k.Chain.Submit(&chain.Tx{From: from, To: k.Addr, Note: "acked"}); err != nil {
+		return err
+	}
+	if !accept {
+		k.state = StateAborted
+		k.Chain.Emit("rejected", nil)
+		return nil
+	}
+	k.state = StateFreeze
+	k.Chain.Emit("acked", nil)
+	return nil
+}
+
+// Freeze locks both deposits ("On receive freeze"), arms the first
+// challenge trigger and moves to AUDIT.
+func (k *Contract) Freeze() error {
+	if k.state != StateFreeze {
+		return fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	if err := k.Chain.Lock(k.Terms.Owner, k.Terms.OwnerDeposit); err != nil {
+		return err
+	}
+	if err := k.Chain.Lock(k.Terms.Provider, k.Terms.ProviderDeposit); err != nil {
+		// Roll back the owner's lock so funds are not stranded.
+		_ = k.Chain.Unlock(k.Terms.Owner, k.Terms.OwnerDeposit, k.Terms.Owner)
+		return err
+	}
+	k.ownerEscrow.Set(k.Terms.OwnerDeposit)
+	k.providerEsc.Set(k.Terms.ProviderDeposit)
+	if _, err := k.Chain.Submit(&chain.Tx{From: k.Terms.Owner, To: k.Addr, Note: "freeze"}); err != nil {
+		return err
+	}
+	k.state = StateAudit
+	k.trigger = k.Chain.Height() + k.Terms.RoundInterval
+	k.Chain.Emit("inited", nil)
+	return nil
+}
+
+// TriggerHeight returns the block height at which the next scheduled action
+// (challenge issue or proof deadline) fires.
+func (k *Contract) TriggerHeight() uint64 { return k.trigger }
+
+// IssueChallenge fires the scheduled "Chal" action once the trigger height
+// is reached: it draws beacon randomness, derives (C1, C2, r), stores the 48
+// challenge bytes on chain and moves to PROVE.
+func (k *Contract) IssueChallenge() (*core.Challenge, error) {
+	if k.state != StateAudit {
+		return nil, fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	if k.Chain.Height() < k.trigger {
+		return nil, fmt.Errorf("%w: height %d < %d", ErrNotTrigger, k.Chain.Height(), k.trigger)
+	}
+	if k.round >= k.Terms.Rounds {
+		return nil, k.expire()
+	}
+	seed, err := k.rand.Randomness(k.round)
+	if err != nil {
+		return nil, fmt.Errorf("contract: beacon failure: %w", err)
+	}
+	if len(seed) < 48 {
+		return nil, fmt.Errorf("contract: beacon returned %d bytes, need 48", len(seed))
+	}
+	ch := &core.Challenge{K: k.Terms.ChallengeSize}
+	copy(ch.C1[:], seed[0:16])
+	copy(ch.C2[:], seed[16:32])
+	copy(ch.R[:], seed[32:48])
+	k.challenge = ch
+
+	if _, err := k.Chain.Submit(&chain.Tx{
+		From: k.Addr, To: k.Addr,
+		Data: ch.Marshal(),
+		Note: fmt.Sprintf("challenge round %d", k.round),
+	}); err != nil {
+		return nil, err
+	}
+	k.state = StateProve
+	k.trigger = k.Chain.Height() + k.Terms.ProofDeadline
+	k.Chain.Emit("challenged", ch.Marshal())
+	return ch, nil
+}
+
+// CurrentChallenge returns the open challenge while in PROVE.
+func (k *Contract) CurrentChallenge() *core.Challenge { return k.challenge }
+
+// SubmitProof is the provider posting its 288-byte private proof. The
+// contract immediately runs the scheduled Verify step: on success the round
+// payment moves from the owner's escrow to the provider; on failure the
+// provider's whole collateral is slashed to the owner and the contract
+// aborts (the dispute outcome of Fig. 2).
+func (k *Contract) SubmitProof(from chain.Address, proofBytes []byte) (bool, error) {
+	if k.state != StateProve {
+		return false, fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	if from != k.Terms.Provider {
+		return false, ErrWrongParty
+	}
+	rcpt, err := k.Chain.Submit(&chain.Tx{
+		From:     from,
+		To:       k.Addr,
+		Data:     proofBytes,
+		ExtraGas: k.verifyGas,
+		Note:     fmt.Sprintf("proof round %d", k.round),
+	})
+	if err != nil {
+		return false, err
+	}
+	k.Chain.Emit("proofposted", nil)
+
+	proof, err := core.UnmarshalPrivateProof(proofBytes)
+	passed := err == nil &&
+		core.VerifyPrivate(k.Terms.PublicKey, k.Terms.NumChunks, k.challenge, proof)
+
+	k.records = append(k.records, RoundRecord{
+		Round:     k.round,
+		Challenge: k.challenge,
+		ProofSize: len(proofBytes),
+		GasUsed:   rcpt.GasUsed,
+		Passed:    passed,
+	})
+	k.round++
+	k.challenge = nil
+
+	if !passed {
+		k.Chain.Emit("fail", nil)
+		return false, k.settleFailure()
+	}
+	k.Chain.Emit("pass", nil)
+	if err := k.payProvider(); err != nil {
+		return true, err
+	}
+	if k.round >= k.Terms.Rounds {
+		return true, k.expire()
+	}
+	k.state = StateAudit
+	k.trigger = k.Chain.Height() + k.Terms.RoundInterval
+	return true, nil
+}
+
+// MissDeadline fires when the proof deadline passes with no proof: treated
+// as an audit failure (the provider cannot stall forever).
+func (k *Contract) MissDeadline() error {
+	if k.state != StateProve {
+		return fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	if k.Chain.Height() < k.trigger {
+		return fmt.Errorf("%w: height %d < deadline %d", ErrNotTrigger, k.Chain.Height(), k.trigger)
+	}
+	k.records = append(k.records, RoundRecord{
+		Round:     k.round,
+		Challenge: k.challenge,
+		Passed:    false,
+	})
+	k.round++
+	k.challenge = nil
+	k.Chain.Emit("fail", []byte("deadline"))
+	return k.settleFailure()
+}
+
+// payProvider releases one round's micro-payment from the owner's escrow.
+func (k *Contract) payProvider() error {
+	pay := k.Terms.PaymentPerRound
+	if k.ownerEscrow.Cmp(pay) < 0 {
+		pay = new(big.Int).Set(k.ownerEscrow)
+	}
+	if pay.Sign() == 0 {
+		return nil
+	}
+	if err := k.Chain.Unlock(k.Terms.Owner, pay, k.Terms.Provider); err != nil {
+		return err
+	}
+	k.ownerEscrow.Sub(k.ownerEscrow, pay)
+	return nil
+}
+
+// settleFailure slashes the provider's collateral to the owner, refunds the
+// owner's remaining escrow, and terminates the contract.
+func (k *Contract) settleFailure() error {
+	if k.providerEsc.Sign() > 0 {
+		if err := k.Chain.Unlock(k.Terms.Provider, k.providerEsc, k.Terms.Owner); err != nil {
+			return err
+		}
+		k.providerEsc.SetInt64(0)
+	}
+	if err := k.refundOwner(); err != nil {
+		return err
+	}
+	k.state = StateAborted
+	return nil
+}
+
+// expire ends a fully-served contract: both residual escrows return home.
+func (k *Contract) expire() error {
+	if k.providerEsc.Sign() > 0 {
+		if err := k.Chain.Unlock(k.Terms.Provider, k.providerEsc, k.Terms.Provider); err != nil {
+			return err
+		}
+		k.providerEsc.SetInt64(0)
+	}
+	if err := k.refundOwner(); err != nil {
+		return err
+	}
+	k.state = StateExpired
+	k.Chain.Emit("expired", nil)
+	return nil
+}
+
+func (k *Contract) refundOwner() error {
+	if k.ownerEscrow.Sign() > 0 {
+		if err := k.Chain.Unlock(k.Terms.Owner, k.ownerEscrow, k.Terms.Owner); err != nil {
+			return err
+		}
+		k.ownerEscrow.SetInt64(0)
+	}
+	return nil
+}

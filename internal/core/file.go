@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ff"
+	"repro/internal/poly"
+)
+
+// BlockSize is the number of file bytes packed into one Zn block. n has 254
+// bits, so 31 bytes always fit with headroom and decoding is unambiguous.
+const BlockSize = 31
+
+// EncodedFile is a file prepared for outsourcing: the byte stream split into
+// d chunks of s blocks each (Definition 1's chunk polynomials), plus the
+// original length for exact round-tripping.
+type EncodedFile struct {
+	S      int
+	Length int          // original byte length
+	Chunks []*poly.Poly // Chunks[i] is Mi(x), degree <= s-1, exactly s coefficients
+}
+
+// EncodeFile splits data into chunks of s blocks. The final block is
+// zero-padded; Length disambiguates the padding on decode.
+func EncodeFile(data []byte, s int) (*EncodedFile, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("%w: chunk size s = %d", ErrBadParameters, s)
+	}
+	nBlocks := (len(data) + BlockSize - 1) / BlockSize
+	if nBlocks == 0 {
+		nBlocks = 1 // an empty file still gets one (zero) block
+	}
+	d := (nBlocks + s - 1) / s
+
+	ef := &EncodedFile{S: s, Length: len(data), Chunks: make([]*poly.Poly, d)}
+	for i := 0; i < d; i++ {
+		coeffs := make(ff.Vector, s)
+		for j := 0; j < s; j++ {
+			blockIdx := i*s + j
+			start := blockIdx * BlockSize
+			// Each block is exactly BlockSize bytes, zero-padded on the
+			// right, so that FillBytes on decode restores byte positions.
+			var block [BlockSize]byte
+			if start < len(data) {
+				end := start + BlockSize
+				if end > len(data) {
+					end = len(data)
+				}
+				copy(block[:], data[start:end])
+			}
+			coeffs[j] = new(big.Int).SetBytes(block[:])
+		}
+		ef.Chunks[i] = poly.FromVector(coeffs)
+	}
+	return ef, nil
+}
+
+// Decode reassembles the original byte stream.
+func (ef *EncodedFile) Decode() []byte {
+	out := make([]byte, 0, ef.Length)
+	buf := make([]byte, BlockSize)
+	for _, chunk := range ef.Chunks {
+		for _, c := range chunk.Coeffs {
+			c.FillBytes(buf)
+			out = append(out, buf...)
+			if len(out) >= ef.Length {
+				return out[:ef.Length]
+			}
+		}
+	}
+	if len(out) < ef.Length {
+		// Trailing zero blocks were elided structurally; pad explicitly.
+		out = append(out, make([]byte, ef.Length-len(out))...)
+	}
+	return out[:ef.Length]
+}
+
+// NumChunks returns d, the chunk count.
+func (ef *EncodedFile) NumChunks() int { return len(ef.Chunks) }
+
+// NumBlocks returns n, the total block count (including padding).
+func (ef *EncodedFile) NumBlocks() int { return len(ef.Chunks) * ef.S }
+
+// StorageOverheadRatio returns the provider's extra storage for
+// authenticators relative to the data size: one 32-byte G1 element per
+// chunk of s 31-byte blocks, i.e. about 1/s (the Section VII-C claim).
+func (ef *EncodedFile) StorageOverheadRatio() float64 {
+	dataBytes := float64(ef.NumBlocks() * BlockSize)
+	authBytes := float64(ef.NumChunks() * 32)
+	return authBytes / dataBytes
+}
+
+// Corrupt flips the lowest byte of the given block (chunk index i, block
+// index j within the chunk) and returns the previous coefficient so tests
+// and experiments can restore it. It models silent data corruption or loss
+// at the storage provider.
+func (ef *EncodedFile) Corrupt(i, j int) *big.Int {
+	old := new(big.Int).Set(ef.Chunks[i].Coeffs[j])
+	ef.Chunks[i].Coeffs[j] = ff.Add(ef.Chunks[i].Coeffs[j], big.NewInt(1))
+	return old
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// Fuzz targets for the wire decoders: anything reachable from chain bytes
+// must never panic and must only accept canonical encodings.
+
+func FuzzUnmarshalProof(f *testing.F) {
+	_, _, prover := fuzzSetup(f)
+	ch, _ := NewChallenge(2, rand.Reader)
+	proof, err := prover.Prove(ch, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(proof.Marshal())
+	f.Add(make([]byte, ProofSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalProof(data)
+		if err != nil {
+			return
+		}
+		// Accepted encodings must re-marshal canonically.
+		if !bytes.Equal(p.Marshal(), data) {
+			t.Fatal("accepted non-canonical proof encoding")
+		}
+	})
+}
+
+func FuzzUnmarshalPrivateProof(f *testing.F) {
+	_, _, prover := fuzzSetup(f)
+	ch, _ := NewChallenge(2, rand.Reader)
+	proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, _ := proof.Marshal()
+	f.Add(enc)
+	f.Add(make([]byte, PrivateProofSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPrivateProof(data)
+		if err != nil {
+			return
+		}
+		re, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted proof fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted non-canonical private proof encoding")
+		}
+	})
+}
+
+func FuzzUnmarshalPublicKey(f *testing.F) {
+	sk, err := KeyGen(3, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, _ := sk.Pub.Marshal(true)
+	f.Add(enc, true)
+	plain, _ := sk.Pub.Marshal(false)
+	f.Add(plain, false)
+	f.Add([]byte{0, 0, 0, 3}, false)
+	f.Fuzz(func(t *testing.T, data []byte, privacy bool) {
+		pk, err := UnmarshalPublicKey(data, privacy)
+		if err != nil {
+			return
+		}
+		re, err := pk.Marshal(privacy)
+		if err != nil {
+			t.Fatalf("accepted key fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted non-canonical public key encoding")
+		}
+	})
+}
+
+func FuzzUnmarshalPrivateKey(f *testing.F) {
+	sk, err := KeyGen(2, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, _ := MarshalPrivateKey(sk)
+	f.Add(enc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk2, err := UnmarshalPrivateKey(data)
+		if err != nil {
+			return
+		}
+		// Accepted keys must be internally consistent by construction.
+		if err := sk2.validate(); err != nil {
+			t.Fatalf("accepted inconsistent private key: %v", err)
+		}
+	})
+}
+
+// fuzzSetup is testSetup for fuzz harnesses (which take *testing.F).
+func fuzzSetup(f *testing.F) (*PrivateKey, *EncodedFile, *Prover) {
+	f.Helper()
+	sk, err := KeyGen(3, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data := make([]byte, 300)
+	rand.Read(data)
+	ef, err := EncodeFile(data, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	auths, err := Setup(sk, ef)
+	if err != nil {
+		f.Fatal(err)
+	}
+	prover, err := NewProver(sk.Pub, ef, auths)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return sk, ef, prover
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/bn256"
+	"repro/internal/ff"
+	"repro/internal/prf"
+)
+
+// Owner-side persistence: the data owner must retain (x, alpha, name, s)
+// across sessions to extend contracts or re-derive authenticators; losing
+// them is unrecoverable (by design -- no one else may hold them). The
+// private-key encoding embeds the full public key so a restored owner needs
+// no other state.
+
+// privateKeyHeader distinguishes the encoding from other 32-byte-aligned
+// blobs and versions it.
+var privateKeyHeader = []byte{'d', 's', 'n', 1}
+
+// MarshalPrivateKey serializes sk as header || x || alpha || pk(with GT).
+func MarshalPrivateKey(sk *PrivateKey) ([]byte, error) {
+	pk, err := sk.Pub.Marshal(true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(privateKeyHeader)+64+len(pk))
+	out = append(out, privateKeyHeader...)
+	out = append(out, ff.Bytes(sk.X)...)
+	out = append(out, ff.Bytes(sk.Alpha)...)
+	out = append(out, pk...)
+	return out, nil
+}
+
+// UnmarshalPrivateKey restores a serialized key, validating that the
+// embedded public key is consistent with the secrets (a corrupted or
+// spliced file fails loudly rather than producing bad authenticators).
+func UnmarshalPrivateKey(data []byte) (*PrivateKey, error) {
+	if len(data) < len(privateKeyHeader)+64 {
+		return nil, ErrMalformed
+	}
+	for i, b := range privateKeyHeader {
+		if data[i] != b {
+			return nil, ErrMalformed
+		}
+	}
+	off := len(privateKeyHeader)
+	x, err := ff.FromBytes(data[off : off+32])
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := ff.FromBytes(data[off+32 : off+64])
+	if err != nil {
+		return nil, err
+	}
+	pub, err := UnmarshalPublicKey(data[off+64:], true)
+	if err != nil {
+		return nil, err
+	}
+	sk := &PrivateKey{X: x, Alpha: alpha, Pub: pub}
+	if err := sk.validate(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// validate cross-checks secrets against the embedded public key.
+func (sk *PrivateKey) validate() error {
+	if sk.X.Sign() == 0 || sk.Alpha.Sign() == 0 {
+		return ErrMalformed
+	}
+	// Epsilon = g2^x and the first two powers pin down (x, alpha).
+	eps := new(bn256.G2).ScalarBaseMult(sk.X)
+	if !eps.Equal(sk.Pub.Epsilon) {
+		return ErrMalformed
+	}
+	delta := new(bn256.G2).ScalarBaseMult(ff.Mul(sk.Alpha, sk.X))
+	if !delta.Equal(sk.Pub.Delta) {
+		return ErrMalformed
+	}
+	if len(sk.Pub.Powers) > 1 {
+		p1 := new(bn256.G1).ScalarBaseMult(sk.Alpha)
+		if !p1.Equal(sk.Pub.Powers[1]) {
+			return ErrMalformed
+		}
+	}
+	return nil
+}
+
+// UnmarshalChallenge parses the 48-byte on-chain challenge encoding
+// produced by Challenge.Marshal. k is carried in contract state, so the
+// caller supplies it.
+func UnmarshalChallenge(data []byte, k int) (*Challenge, error) {
+	if len(data) != 3*prf.SeedSize {
+		return nil, ErrMalformed
+	}
+	if k < 1 {
+		return nil, ErrBadParameters
+	}
+	ch := &Challenge{K: k}
+	copy(ch.C1[:], data[0:prf.SeedSize])
+	copy(ch.C2[:], data[prf.SeedSize:2*prf.SeedSize])
+	copy(ch.R[:], data[2*prf.SeedSize:])
+	return ch, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestPrivateKeyRoundTrip(t *testing.T) {
+	sk, err := KeyGen(8, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := MarshalPrivateKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := UnmarshalPrivateKey(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.Equal(dec.X, sk.X) || !ff.Equal(dec.Alpha, sk.Alpha) {
+		t.Fatal("secrets mismatch")
+	}
+	if !dec.Pub.Epsilon.Equal(sk.Pub.Epsilon) || !ff.Equal(dec.Pub.Name, sk.Pub.Name) {
+		t.Fatal("public key mismatch")
+	}
+
+	// A restored key must produce the same authenticators.
+	data := make([]byte, 500)
+	rand.Read(data)
+	ef, _ := EncodeFile(data, 8)
+	a1, err := Setup(sk, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Setup(dec, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if !a1[i].Sigma.Equal(a2[i].Sigma) {
+			t.Fatalf("authenticator %d differs after restore", i)
+		}
+	}
+}
+
+func TestPrivateKeyRejectsTampering(t *testing.T) {
+	sk, _ := KeyGen(4, rand.Reader)
+	enc, err := MarshalPrivateKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := UnmarshalPrivateKey(enc[:10]); err == nil {
+		t.Fatal("accepted truncated key")
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 1 // header
+	if _, err := UnmarshalPrivateKey(bad); err == nil {
+		t.Fatal("accepted wrong header")
+	}
+
+	// Tamper with x: the embedded public key no longer matches.
+	bad = append([]byte(nil), enc...)
+	bad[len(privateKeyHeader)+5] ^= 1
+	if _, err := UnmarshalPrivateKey(bad); err == nil {
+		t.Fatal("accepted key with inconsistent secrets")
+	}
+
+	// Tamper with alpha likewise.
+	bad = append([]byte(nil), enc...)
+	bad[len(privateKeyHeader)+32+5] ^= 1
+	if _, err := UnmarshalPrivateKey(bad); err == nil {
+		t.Fatal("accepted key with inconsistent alpha")
+	}
+}
+
+func TestChallengeMarshalRoundTrip(t *testing.T) {
+	ch, err := NewChallenge(300, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := ch.Marshal()
+	if len(enc) != 48 {
+		t.Fatalf("challenge encodes to %d bytes, want 48", len(enc))
+	}
+	dec, err := UnmarshalChallenge(enc, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.C1 != ch.C1 || dec.C2 != ch.C2 || dec.R != ch.R || dec.K != 300 {
+		t.Fatal("challenge round trip mismatch")
+	}
+	// Expansion agreement is what actually matters on chain.
+	i1, c1, r1, err := ch.Expand(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, c2, r2, err := dec.Expand(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.Equal(r1, r2) || !c1.Equal(c2) {
+		t.Fatal("expansion differs after round trip")
+	}
+	for i := range i1 {
+		if i1[i] != i2[i] {
+			t.Fatal("indices differ after round trip")
+		}
+	}
+}
+
+func TestUnmarshalChallengeValidation(t *testing.T) {
+	if _, err := UnmarshalChallenge(make([]byte, 47), 10); err == nil {
+		t.Fatal("accepted short challenge")
+	}
+	if _, err := UnmarshalChallenge(make([]byte, 48), 0); err == nil {
+		t.Fatal("accepted k = 0")
+	}
+}
+
+func TestPrivateKeyEncodingStable(t *testing.T) {
+	sk, _ := KeyGen(4, rand.Reader)
+	e1, _ := MarshalPrivateKey(sk)
+	e2, _ := MarshalPrivateKey(sk)
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("key encoding not deterministic")
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"repro/internal/bn256"
+	"repro/internal/ff"
+	"repro/internal/poly"
+	"repro/internal/prf"
+)
+
+// Authenticator is the homomorphic linear authenticator of one chunk:
+// sigma_i = (g1^{Mi(alpha)} * H(name||i))^x.
+type Authenticator struct {
+	Index int
+	Sigma *bn256.G1
+}
+
+// Setup computes the authenticators for every chunk of the encoded file.
+// This is the data owner's one-time preprocessing (the Fig. 7 workload).
+func Setup(sk *PrivateKey, ef *EncodedFile) ([]*Authenticator, error) {
+	if ef.S != sk.Pub.S {
+		return nil, fmt.Errorf("%w: file encoded with s=%d but key has s=%d",
+			ErrBadParameters, ef.S, sk.Pub.S)
+	}
+	auths := make([]*Authenticator, ef.NumChunks())
+	for i, chunk := range ef.Chunks {
+		mAlpha := chunk.Eval(sk.Alpha)
+		base := new(bn256.G1).ScalarBaseMult(mAlpha)
+		base.Add(base, sk.Pub.blockTag(i))
+		auths[i] = &Authenticator{Index: i, Sigma: base.ScalarMult(base, sk.X)}
+	}
+	return auths, nil
+}
+
+// VerifyAuthenticators is the storage provider's acceptance check before it
+// signals the smart contract to proceed (Section V-B, Initialize): for each
+// sampled chunk it checks e(sigma_i, g2) = e(g1^{Mi(alpha)} * t_i, eps),
+// reconstructing g1^{Mi(alpha)} from the public powers. A cheating owner
+// that plants bad authenticators (to later win disputes) is caught here
+// except with negligible probability.
+//
+// sample lists the chunk indices to check; pass nil to check all.
+func VerifyAuthenticators(pk *PublicKey, ef *EncodedFile, auths []*Authenticator, sample []int) error {
+	if len(auths) != ef.NumChunks() {
+		return fmt.Errorf("%w: %d authenticators for %d chunks", ErrBadParameters, len(auths), ef.NumChunks())
+	}
+	if sample == nil {
+		sample = make([]int, len(auths))
+		for i := range sample {
+			sample[i] = i
+		}
+	}
+	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	for _, i := range sample {
+		if i < 0 || i >= len(auths) {
+			return fmt.Errorf("%w: sample index %d out of range", ErrBadParameters, i)
+		}
+		if auths[i].Index != i {
+			return fmt.Errorf("%w: authenticator at position %d has index %d", ErrBadParameters, i, auths[i].Index)
+		}
+		commit := new(bn256.G1).MultiScalarMult(pk.Powers, ef.Chunks[i].Coeffs)
+		commit.Add(commit, pk.blockTag(i))
+		// e(sigma, g2) * e(-commit, eps) == 1
+		neg := new(bn256.G1).Neg(commit)
+		if !bn256.PairingCheck(
+			[]*bn256.G1{auths[i].Sigma, neg},
+			[]*bn256.G2{g2, pk.Epsilon},
+		) {
+			return fmt.Errorf("core: authenticator %d failed verification", i)
+		}
+	}
+	return nil
+}
+
+// Challenge is the on-chain challenge (C1, C2, r): 48 bytes total, exactly
+// the randomness budget the paper charges per audit round.
+type Challenge struct {
+	C1 [prf.SeedSize]byte // seeds the PRP selecting chunk indices
+	C2 [prf.SeedSize]byte // seeds the PRF producing coefficients
+	R  [prf.SeedSize]byte // seeds the polynomial evaluation point
+	K  int                // number of challenged chunks
+}
+
+// NewChallenge draws a fresh challenge for k chunks from r (crypto/rand if
+// nil). In deployment the entropy comes from the randomness beacon; the
+// contract package wires that in.
+func NewChallenge(k int, r io.Reader) (*Challenge, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrBadParameters, k)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	ch := &Challenge{K: k}
+	for _, buf := range [][]byte{ch.C1[:], ch.C2[:], ch.R[:]} {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// Marshal encodes the challenge as C1 || C2 || R (48 bytes; k travels in the
+// contract state, not the challenge itself).
+func (c *Challenge) Marshal() []byte {
+	out := make([]byte, 0, 3*prf.SeedSize)
+	out = append(out, c.C1[:]...)
+	out = append(out, c.C2[:]...)
+	out = append(out, c.R[:]...)
+	return out
+}
+
+// Expand derives the challenged index set, the coefficients and the
+// evaluation point for a file with d chunks. Both prover and verifier call
+// this; determinism is what lets 48 on-chain bytes drive a k=300 audit.
+func (c *Challenge) Expand(d int) (indices []int, coeffs ff.Vector, r *big.Int, err error) {
+	k := c.K
+	if k > d {
+		k = d // small files: challenge every chunk
+	}
+	indices, err = prf.Indices(c.C1[:], d, k)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	coeffs = prf.Coefficients(c.C2[:], k)
+	r = prf.EvalPoint(c.R[:])
+	return indices, coeffs, r, nil
+}
+
+// ProveStats records where proving time went, feeding the ECC-vs-Zp split
+// of Fig. 8.
+type ProveStats struct {
+	ECC time.Duration // elliptic-curve and pairing work
+	Zp  time.Duration // finite-field polynomial work
+}
+
+// Prover bundles what the storage provider holds for one contract: the
+// public key, the encoded data and the authenticators.
+type Prover struct {
+	Pub   *PublicKey
+	File  *EncodedFile
+	Auths []*Authenticator
+}
+
+// NewProver validates dimensions and returns a Prover.
+func NewProver(pk *PublicKey, ef *EncodedFile, auths []*Authenticator) (*Prover, error) {
+	if ef.S != pk.S {
+		return nil, fmt.Errorf("%w: file s=%d, key s=%d", ErrBadParameters, ef.S, pk.S)
+	}
+	if len(auths) != ef.NumChunks() {
+		return nil, fmt.Errorf("%w: %d authenticators for %d chunks", ErrBadParameters, len(auths), ef.NumChunks())
+	}
+	return &Prover{Pub: pk, File: ef, Auths: auths}, nil
+}
+
+// buildResponse computes the shared core of both proof flavors:
+// sigma = prod sigma_i^{c_i}, Pk, y = Pk(r), psi = g1^{Qk(alpha)}.
+func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G1, y *big.Int, psi *bn256.G1, err error) {
+	indices, coeffs, r, err := ch.Expand(p.File.NumChunks())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// sigma aggregation: ECC.
+	start := time.Now()
+	pts := make([]*bn256.G1, len(indices))
+	for j, idx := range indices {
+		pts[j] = p.Auths[idx].Sigma
+	}
+	sigma = new(bn256.G1).MultiScalarMult(pts, coeffs)
+	if stats != nil {
+		stats.ECC += time.Since(start)
+	}
+
+	// Pk, y, Qk: Zp.
+	start = time.Now()
+	polys := make([]*poly.Poly, len(indices))
+	for j, idx := range indices {
+		polys[j] = p.File.Chunks[idx]
+	}
+	pk, err := poly.LinearCombination(polys, coeffs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	qk, yv := pk.DivideByLinear(r)
+	if stats != nil {
+		stats.Zp += time.Since(start)
+	}
+
+	// psi = g1^{Qk(alpha)} from the powers: ECC.
+	start = time.Now()
+	psi = new(bn256.G1).MultiScalarMult(p.Pub.Powers[:len(qk.Coeffs)], qk.Coeffs)
+	if stats != nil {
+		stats.ECC += time.Since(start)
+	}
+	return sigma, yv, psi, nil
+}
+
+// Prove produces the non-private response (sigma, y, psi) of Section V-B.
+// Its on-chain audit trail leaks Pk(r) and is exactly what the Section V-C
+// adversary exploits; it exists as the "w/o on-chain privacy" baseline of
+// Figs. 5, 8 and 9. stats may be nil.
+func (p *Prover) Prove(ch *Challenge, stats *ProveStats) (*Proof, error) {
+	sigma, y, psi, err := p.buildResponse(ch, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Proof{Sigma: sigma, Y: y, Psi: psi}, nil
+}
+
+// ProvePrivate produces the privacy-assured response (sigma, y', psi, R) of
+// Section V-D: y is masked as y' = zeta*y + z with zeta = H'(R), R = e(g1,eps)^z,
+// a Sigma-protocol transcript that is witness indistinguishable on chain.
+// stats may be nil; rng may be nil for crypto/rand.
+func (p *Prover) ProvePrivate(ch *Challenge, stats *ProveStats, rng io.Reader) (*PrivateProof, error) {
+	sigma, y, psi, err := p.buildResponse(ch, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	z, err := ff.RandomNonZero(rng)
+	if err != nil {
+		return nil, err
+	}
+	r := new(bn256.GT).ScalarMult(p.Pub.EG1Eps, z)
+	if stats != nil {
+		stats.ECC += time.Since(start)
+	}
+
+	start = time.Now()
+	zeta := prf.OracleGT(r.Marshal())
+	yPrime := ff.Add(ff.Mul(zeta, y), z)
+	if stats != nil {
+		stats.Zp += time.Since(start)
+	}
+	return &PrivateProof{Sigma: sigma, YPrime: yPrime, Psi: psi, R: r}, nil
+}
+
+// chi computes prod_i H(name||i)^{c_i} over the challenged indices: the
+// verifier-side aggregation both equations share.
+func chi(pk *PublicKey, indices []int, coeffs ff.Vector) *bn256.G1 {
+	tags := make([]*bn256.G1, len(indices))
+	for j, idx := range indices {
+		tags[j] = pk.blockTag(idx)
+	}
+	return new(bn256.G1).MultiScalarMult(tags, coeffs)
+}
+
+// Verify checks the non-private proof against Eq. 1:
+//
+//	e(sigma, g2) * e(g1^{-y}, eps) = e(chi, eps) * e(psi, delta * eps^{-r})
+//
+// folded into a single product of four Miller loops sharing one final
+// exponentiation. d is the file's chunk count.
+func Verify(pk *PublicKey, d int, ch *Challenge, pr *Proof) bool {
+	indices, coeffs, r, err := ch.Expand(d)
+	if err != nil {
+		return false
+	}
+	x := chi(pk, indices, coeffs)
+	return verifyEquation(pk, x, r, pr.Sigma, pr.Y, pr.Psi, nil)
+}
+
+// VerifyPrivate checks the private proof against Eq. 2:
+//
+//	R * e(sigma^zeta, g2) * e(g1^{-y'}, eps) = e(chi^zeta, eps) * e(psi^zeta, delta * eps^{-r})
+func VerifyPrivate(pk *PublicKey, d int, ch *Challenge, pr *PrivateProof) bool {
+	indices, coeffs, r, err := ch.Expand(d)
+	if err != nil {
+		return false
+	}
+	zeta := prf.OracleGT(pr.R.Marshal())
+	x := chi(pk, indices, coeffs)
+	x.ScalarMult(x, zeta)
+	sigmaZ := new(bn256.G1).ScalarMult(pr.Sigma, zeta)
+	psiZ := new(bn256.G1).ScalarMult(pr.Psi, zeta)
+	return verifyEquation(pk, x, r, sigmaZ, pr.YPrime, psiZ, pr.R)
+}
+
+// verifyEquation checks
+//
+//	[R *] e(sigma, g2) * e(g1^{-y}, eps) * e(chi, eps)^{-1} * e(psi, delta*eps^{-r})^{-1} == 1
+//
+// with one shared final exponentiation. R == nil means the non-private form.
+func verifyEquation(pk *PublicKey, chiAgg *bn256.G1, r *big.Int, sigma *bn256.G1, y *big.Int, psi *bn256.G1, rCommit *bn256.GT) bool {
+	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	gNegY := new(bn256.G1).ScalarBaseMult(ff.Neg(y))
+	negChi := new(bn256.G1).Neg(chiAgg)
+	negPsi := new(bn256.G1).Neg(psi)
+
+	// delta * eps^{-r}
+	dEps := new(bn256.G2).ScalarMult(pk.Epsilon, ff.Neg(r))
+	dEps.Add(pk.Delta, dEps)
+
+	acc := bn256.MillerLoop(sigma, g2)
+	acc.Add(acc, bn256.MillerLoop(gNegY, pk.Epsilon))
+	acc.Add(acc, bn256.MillerLoop(negChi, pk.Epsilon))
+	acc.Add(acc, bn256.MillerLoop(negPsi, dEps))
+	res := bn256.FinalExponentiate(acc)
+	if rCommit != nil {
+		res.Add(res, rCommit)
+	}
+	return res.IsOne()
+}

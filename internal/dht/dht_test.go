@@ -1,0 +1,170 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func buildRing(t testing.TB, n int) *Ring {
+	t.Helper()
+	r := NewRing()
+	for i := 0; i < n; i++ {
+		if _, err := r.Join(fmt.Sprintf("provider-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestJoinLeave(t *testing.T) {
+	r := buildRing(t, 10)
+	if r.Size() != 10 {
+		t.Fatalf("size = %d, want 10", r.Size())
+	}
+	nodes := r.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatal("nodes not sorted")
+		}
+	}
+	if !r.Leave(nodes[3].ID) {
+		t.Fatal("leave failed")
+	}
+	if r.Leave(nodes[3].ID) {
+		t.Fatal("double leave succeeded")
+	}
+	if r.Size() != 9 {
+		t.Fatalf("size after leave = %d", r.Size())
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	r := NewRing()
+	if _, err := r.JoinWithID(42, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.JoinWithID(42, "b"); err == nil {
+		t.Fatal("accepted duplicate ID")
+	}
+}
+
+func TestSuccessorWraps(t *testing.T) {
+	r := NewRing()
+	r.JoinWithID(100, "a")
+	r.JoinWithID(200, "b")
+	n, err := r.Successor(150)
+	if err != nil || n.ID != 200 {
+		t.Fatalf("successor(150) = %v, want 200", n)
+	}
+	n, _ = r.Successor(201) // wraps to the smallest
+	if n.ID != 100 {
+		t.Fatalf("successor(201) = %v, want 100 (wrap)", n.ID)
+	}
+	n, _ = r.Successor(100) // exact hit
+	if n.ID != 100 {
+		t.Fatalf("successor(100) = %v, want 100", n.ID)
+	}
+}
+
+func TestEmptyRingErrors(t *testing.T) {
+	r := NewRing()
+	if _, err := r.Successor(1); err == nil {
+		t.Fatal("successor on empty ring succeeded")
+	}
+	if _, err := r.Providers(1, 1); err == nil {
+		t.Fatal("providers on empty ring succeeded")
+	}
+}
+
+func TestLookupFindsSuccessor(t *testing.T) {
+	r := buildRing(t, 50)
+	nodes := r.Nodes()
+	for trial := 0; trial < 100; trial++ {
+		key := HashString(fmt.Sprintf("key-%d", trial))
+		want, _ := r.Successor(key)
+		from := nodes[trial%len(nodes)]
+		got, hops, err := r.Lookup(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID {
+			t.Fatalf("lookup routed to %d, want %d", got.ID, want.ID)
+		}
+		if hops > IDBits {
+			t.Fatalf("lookup took %d hops", hops)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	// Average hops must be O(log N): for N=256, well under 16.
+	r := buildRing(t, 256)
+	nodes := r.Nodes()
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		key := HashString(fmt.Sprintf("k%d", i))
+		_, hops, err := r.Lookup(nodes[i%len(nodes)], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	avg := float64(total) / trials
+	if avg > 2*math.Log2(256) {
+		t.Fatalf("average hops %.1f too high for 256 nodes", avg)
+	}
+}
+
+func TestProvidersDistinct(t *testing.T) {
+	r := buildRing(t, 20)
+	provs, err := r.Providers(HashString("file-x"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) != 10 {
+		t.Fatalf("got %d providers", len(provs))
+	}
+	seen := map[ID]bool{}
+	for _, p := range provs {
+		if seen[p.ID] {
+			t.Fatal("duplicate provider")
+		}
+		seen[p.ID] = true
+	}
+	if _, err := r.Providers(HashString("x"), 21); err == nil {
+		t.Fatal("accepted provider count above ring size")
+	}
+}
+
+func TestProvidersDeterministic(t *testing.T) {
+	r := buildRing(t, 12)
+	a, _ := r.Providers(HashString("same-key"), 5)
+	b, _ := r.Providers(HashString("same-key"), 5)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("provider selection not deterministic")
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, b, x ID
+		want    bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},
+		{10, 20, 10, false},
+		{10, 20, 25, false},
+		{20, 10, 25, true}, // wrapped
+		{20, 10, 5, true},  // wrapped
+		{20, 10, 15, false},
+	}
+	for _, c := range cases {
+		if got := between(c.a, c.b, c.x); got != c.want {
+			t.Fatalf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package erasure implements systematic Reed-Solomon erasure coding over
+// GF(2^8), the data-redundancy layer of the paper's storage infrastructure
+// (Fig. 1, "erasure coding [15]"): a file striped into k data shares plus m
+// parity shares survives the loss of any m shares, e.g. the paper's
+// "3-out-of-10" example (any 3 of 10 shares reconstruct).
+package erasure
+
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+// via log/exp tables built at init from the generator 0x03.
+
+var (
+	gfExp [512]byte // doubled to avoid a mod in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 0x03 = x * 2 + x
+		x = mulNoTable(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// mulNoTable is carry-less multiplication with reduction, used only to
+// build the tables.
+func mulNoTable(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(2^8); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse; a must be non-zero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns a^n.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(gfLog[a]) * n) % 255
+	return gfExp[l]
+}
+
+// matInvert inverts a square GF(256) matrix in place using Gauss-Jordan
+// elimination, returning false if singular.
+func matInvert(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for row := col; row < n; row++ {
+			if aug[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfMul(aug[col][j], inv)
+		}
+		for row := 0; row < n; row++ {
+			if row == col || aug[row][col] == 0 {
+				continue
+			}
+			f := aug[row][col]
+			for j := 0; j < 2*n; j++ {
+				aug[row][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package ff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, _ := Random(rand.Reader)
+		b, _ := Random(rand.Reader)
+		c, _ := Random(rand.Reader)
+
+		if !Equal(Add(a, b), Add(b, a)) {
+			t.Fatal("addition not commutative")
+		}
+		if !Equal(Mul(a, b), Mul(b, a)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !Equal(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c))) {
+			t.Fatal("multiplication not distributive")
+		}
+		if !Equal(Add(a, Neg(a)), New(0)) {
+			t.Fatal("a + (-a) != 0")
+		}
+		if a.Sign() != 0 && !Equal(Mul(a, Inv(a)), New(1)) {
+			t.Fatal("a * 1/a != 1")
+		}
+		if a.Sign() != 0 && !Equal(Div(Mul(a, b), a), Reduce(new(big.Int).Set(b))) {
+			t.Fatal("(a*b)/a != b")
+		}
+	}
+}
+
+func TestExpFermat(t *testing.T) {
+	a, _ := RandomNonZero(rand.Reader)
+	nMinus1 := new(big.Int).Sub(Modulus(), big.NewInt(1))
+	if !Equal(Exp(a, nMinus1), New(1)) {
+		t.Fatal("a^(n-1) != 1: modulus is not prime or Exp is broken")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	a, _ := Random(rand.Reader)
+	enc := Bytes(a)
+	if len(enc) != 32 {
+		t.Fatalf("encoding is %d bytes, want 32", len(enc))
+	}
+	dec, err := FromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, dec) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFromBytesRejectsNonCanonical(t *testing.T) {
+	over := Modulus() // == n, not a canonical residue
+	enc := make([]byte, 32)
+	over.FillBytes(enc)
+	if _, err := FromBytes(enc); err == nil {
+		t.Fatal("accepted n as a canonical scalar")
+	}
+	if _, err := FromBytes(enc[:31]); err == nil {
+		t.Fatal("accepted a short encoding")
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{New(1), New(2), New(3)}
+	w := Vector{New(4), New(5), New(6)}
+	if !Equal(v.Dot(w), New(32)) {
+		t.Fatalf("dot product = %v, want 32", v.Dot(w))
+	}
+}
+
+func TestVectorDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{New(1)}.Dot(Vector{New(1), New(2)})
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// Build a random system with a known solution and solve it back.
+	const k = 8
+	xTrue, err := RandomVector(rand.Reader, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]Vector, k)
+	b := make(Vector, k)
+	for i := range a {
+		a[i], err = RandomVector(rand.Reader, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[i] = a[i].Dot(xTrue)
+	}
+	x, err := SolveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(xTrue) {
+		t.Fatal("solver returned wrong solution")
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	// Two identical rows: singular.
+	row := Vector{New(1), New(2)}
+	a := []Vector{row, row.Clone()}
+	b := Vector{New(3), New(3)}
+	if _, err := SolveLinearSystem(a, b); err == nil {
+		t.Fatal("expected an error for a singular system")
+	}
+}
+
+func TestSolveLinearSystemShapeErrors(t *testing.T) {
+	if _, err := SolveLinearSystem([]Vector{{New(1)}}, Vector{New(1), New(2)}); err == nil {
+		t.Fatal("accepted mismatched row count")
+	}
+	if _, err := SolveLinearSystem([]Vector{{New(1), New(2)}}, Vector{New(1)}); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(av, bv int64) bool {
+		a, b := New(av), New(bv)
+		return Equal(Sub(Add(a, b), b), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package prf
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestCoefficientsUniformity runs a chi-square test on the PRF outputs
+// bucketed over the field: the challenge coefficients {c_l} must be
+// statistically uniform, which the storage-guarantee analysis (and the
+// batching soundness) assumes.
+func TestCoefficientsUniformity(t *testing.T) {
+	const samples = 2048
+	const buckets = 16
+	counts := make([]int, buckets)
+	width := new(big.Int).Div(ff.Modulus(), big.NewInt(buckets))
+	for i := 0; i < samples; i++ {
+		v := Scalar([]byte(fmt.Sprintf("seed-%d", i%7)), uint64(i))
+		b := new(big.Int).Div(v, width).Int64()
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom: P(chi2 > 37.7) < 0.001.
+	if chi2 > 37.7 {
+		t.Fatalf("coefficient distribution fails uniformity: chi2 = %.1f", chi2)
+	}
+}
+
+// TestIndicesUniformCoverage checks that the PRP's index selection covers
+// the domain evenly across seeds: over many draws of k from d, each index's
+// selection frequency must track k/d.
+func TestIndicesUniformCoverage(t *testing.T) {
+	const d, k, draws = 40, 10, 800
+	counts := make([]int, d)
+	for i := 0; i < draws; i++ {
+		idx, err := Indices([]byte(fmt.Sprintf("cov-%d", i)), d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range idx {
+			counts[j]++
+		}
+	}
+	want := float64(draws*k) / d // 200 per index
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.35 {
+			t.Fatalf("index %d selected %d times, want ~%.0f: selection biased", i, c, want)
+		}
+	}
+}
+
+// TestEvalPointAvalanche: flipping one seed bit must change the evaluation
+// point completely (no structural relation an adversary could exploit to
+// steer interpolation points).
+func TestEvalPointAvalanche(t *testing.T) {
+	seed := make([]byte, SeedSize)
+	base := EvalPoint(seed)
+	for bit := 0; bit < 8*SeedSize; bit += 13 {
+		mut := make([]byte, SeedSize)
+		copy(mut, seed)
+		mut[bit/8] ^= 1 << (bit % 8)
+		v := EvalPoint(mut)
+		if ff.Equal(base, v) {
+			t.Fatalf("bit %d flip left the evaluation point unchanged", bit)
+		}
+		// The difference must not be small (no near-collisions).
+		diff := ff.Sub(base, v)
+		if diff.BitLen() < 100 {
+			t.Fatalf("bit %d flip produced a structured delta (%d bits)", bit, diff.BitLen())
+		}
+	}
+}

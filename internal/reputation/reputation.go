@@ -1,0 +1,191 @@
+// Package reputation implements the "robust reputation-based system" the
+// paper invokes in Section VI-A as the countermeasure to residual
+// misbehaviour that deposits alone cannot price in:
+//
+//   - a provider rejecting contracts after the owner paid the on-chain
+//     storage cost of params/metadata (the initialization DoS), and
+//   - Sybil identities farming engagement.
+//
+// The ledger is intentionally simple and auditable: every actor carries a
+// score driven by on-chain events (passed audits up, slashes heavily down,
+// pre-deposit rejections down), with an identity-age multiplier that makes
+// freshly minted Sybil identities start at the bottom. Owners use the
+// score to rank DHT provider candidates; providers use it to rank owners.
+package reputation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Event is a reputation-relevant on-chain observation.
+type Event int
+
+// Event kinds mirror the audit contract's outcomes.
+const (
+	// EventAuditPassed: a round verified; the provider behaved.
+	EventAuditPassed Event = iota
+	// EventAuditFailed: a proof failed verification; the provider was
+	// slashed.
+	EventAuditFailed
+	// EventDeadlineMissed: the provider never responded.
+	EventDeadlineMissed
+	// EventRejectedAfterNegotiate: the provider bailed after the owner
+	// paid the one-time on-chain key cost (the Section VI-A DoS).
+	EventRejectedAfterNegotiate
+	// EventContractCompleted: a full contract served to expiry.
+	EventContractCompleted
+	// EventForgedMetadata: an owner was caught planting bad
+	// authenticators during provider-side validation.
+	EventForgedMetadata
+)
+
+// scoreDelta maps events to score adjustments.
+func scoreDelta(e Event) float64 {
+	switch e {
+	case EventAuditPassed:
+		return +1
+	case EventAuditFailed:
+		return -50
+	case EventDeadlineMissed:
+		return -30
+	case EventRejectedAfterNegotiate:
+		return -10
+	case EventContractCompleted:
+		return +10
+	case EventForgedMetadata:
+		return -50
+	default:
+		return 0
+	}
+}
+
+// Record is one identity's standing.
+type Record struct {
+	Name       string
+	Score      float64
+	Age        int // observed events; proxies identity age / activity
+	Completed  int
+	Slashed    int
+	Rejections int
+}
+
+// Ledger tracks scores for all identities. Safe for concurrent use.
+type Ledger struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{records: make(map[string]*Record)}
+}
+
+// ErrUnknown is returned for identities with no history.
+var ErrUnknown = errors.New("reputation: unknown identity")
+
+// Observe applies an event to an identity, creating it on first sight.
+func (l *Ledger) Observe(name string, e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.records[name]
+	if !ok {
+		r = &Record{Name: name}
+		l.records[name] = r
+	}
+	r.Age++
+	r.Score += scoreDelta(e)
+	switch e {
+	case EventContractCompleted:
+		r.Completed++
+	case EventAuditFailed, EventDeadlineMissed, EventForgedMetadata:
+		r.Slashed++
+	case EventRejectedAfterNegotiate:
+		r.Rejections++
+	}
+}
+
+// Record returns a copy of an identity's standing.
+func (l *Ledger) Record(name string) (Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	r, ok := l.records[name]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	return *r, nil
+}
+
+// Trust returns the effective trust of an identity in [0, 1]. Identities
+// with no history score the Sybil floor; history is discounted by a
+// logistic curve so one good contract cannot whitewash a slash.
+func (l *Ledger) Trust(name string) float64 {
+	l.mu.RLock()
+	r, ok := l.records[name]
+	l.mu.RUnlock()
+	if !ok {
+		return sybilFloor
+	}
+	// Slashed identities are hard-capped: deposits already priced one
+	// offense; reputation makes repeat business unlikely.
+	if r.Slashed > 0 {
+		return 0
+	}
+	// Logistic on score, dampened by youth. Non-positive scores carry
+	// no trust beyond the floor.
+	s := r.Score
+	if s <= 0 {
+		return sybilFloor
+	}
+	base := s / (s + 20)
+	youth := float64(r.Age) / float64(r.Age+5)
+	t := sybilFloor + (1-sybilFloor)*base*youth
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// sybilFloor is the trust of a never-seen identity: positive (newcomers
+// must be able to join) but low enough that established providers win
+// ranking ties, which is exactly what makes Sybil flooding uneconomical.
+const sybilFloor = 0.05
+
+// Rank orders candidate names by descending trust (stable for equal trust,
+// preserving DHT placement order).
+func (l *Ledger) Rank(candidates []string) []string {
+	out := append([]string(nil), candidates...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return l.Trust(out[i]) > l.Trust(out[j])
+	})
+	return out
+}
+
+// SybilResistance quantifies the cost of a Sybil flood: the number of
+// passed audits a fresh identity needs before its trust exceeds that of an
+// established identity with the given record. It returns -1 if the target
+// is unreachable (e.g. the established identity is at the cap).
+func (l *Ledger) SybilResistance(established string) int {
+	target := l.Trust(established)
+	if target >= 1 {
+		return -1
+	}
+	// Simulate a fresh identity accumulating passes.
+	fresh := &Record{}
+	for n := 1; n <= 10000; n++ {
+		fresh.Age++
+		fresh.Score += scoreDelta(EventAuditPassed)
+		s := fresh.Score
+		if s <= 0 {
+			continue
+		}
+		base := s / (s + 20)
+		youth := float64(fresh.Age) / float64(fresh.Age+5)
+		if sybilFloor+(1-sybilFloor)*base*youth > target {
+			return n
+		}
+	}
+	return -1
+}

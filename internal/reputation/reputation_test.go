@@ -1,0 +1,126 @@
+package reputation
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestObserveAndRecord(t *testing.T) {
+	l := NewLedger()
+	l.Observe("sp-1", EventAuditPassed)
+	l.Observe("sp-1", EventAuditPassed)
+	l.Observe("sp-1", EventContractCompleted)
+
+	r, err := l.Record("sp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Age != 3 || r.Completed != 1 || r.Score != 12 {
+		t.Fatalf("record = %+v", r)
+	}
+	if _, err := l.Record("ghost"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrustOrdering(t *testing.T) {
+	l := NewLedger()
+	// Established honest provider.
+	for i := 0; i < 50; i++ {
+		l.Observe("veteran", EventAuditPassed)
+	}
+	l.Observe("veteran", EventContractCompleted)
+
+	// Young but clean.
+	l.Observe("rookie", EventAuditPassed)
+
+	// Slashed provider.
+	for i := 0; i < 50; i++ {
+		l.Observe("cheater", EventAuditPassed)
+	}
+	l.Observe("cheater", EventAuditFailed)
+
+	tv, tr, tc := l.Trust("veteran"), l.Trust("rookie"), l.Trust("cheater")
+	tn := l.Trust("nobody")
+
+	if !(tv > tr && tr > tn) {
+		t.Fatalf("ordering broken: veteran %.3f rookie %.3f nobody %.3f", tv, tr, tn)
+	}
+	if tc != 0 {
+		t.Fatalf("slashed provider trust = %.3f, want 0 (hard cap)", tc)
+	}
+	if tn != sybilFloor {
+		t.Fatalf("unknown trust = %.3f, want floor %.3f", tn, sybilFloor)
+	}
+}
+
+func TestSlashDominatesHistory(t *testing.T) {
+	// A long good history must not whitewash one slash.
+	l := NewLedger()
+	for i := 0; i < 1000; i++ {
+		l.Observe("wolf", EventAuditPassed)
+	}
+	l.Observe("wolf", EventAuditFailed)
+	for i := 0; i < 1000; i++ {
+		l.Observe("wolf", EventAuditPassed)
+	}
+	if l.Trust("wolf") != 0 {
+		t.Fatal("slashed identity regained trust")
+	}
+}
+
+func TestRejectionDoSIsSelfDefeating(t *testing.T) {
+	// The Section VI-A DoS: repeatedly rejecting after negotiation drives
+	// the attacker's own trust to the floor, as the paper argues
+	// ("good to none but worse to himself").
+	l := NewLedger()
+	l.Observe("griefer", EventAuditPassed)
+	before := l.Trust("griefer")
+	for i := 0; i < 5; i++ {
+		l.Observe("griefer", EventRejectedAfterNegotiate)
+	}
+	after := l.Trust("griefer")
+	if after >= before {
+		t.Fatalf("rejections did not hurt: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestRank(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 30; i++ {
+		l.Observe("good", EventAuditPassed)
+	}
+	l.Observe("meh", EventAuditPassed)
+	l.Observe("bad", EventAuditFailed)
+
+	ranked := l.Rank([]string{"bad", "unknown-a", "good", "meh", "unknown-b"})
+	if ranked[0] != "good" || ranked[1] != "meh" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	// Equal-trust unknowns keep their input (DHT placement) order.
+	if ranked[2] != "unknown-a" || ranked[3] != "unknown-b" {
+		t.Fatalf("stable tie-break broken: %v", ranked)
+	}
+	if ranked[4] != "bad" {
+		t.Fatalf("slashed not last: %v", ranked)
+	}
+}
+
+func TestSybilResistance(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 100; i++ {
+		l.Observe("incumbent", EventAuditPassed)
+	}
+	n := l.SybilResistance("incumbent")
+	if n <= 0 {
+		t.Fatalf("sybil resistance = %d", n)
+	}
+	// A Sybil must do real, audited work to catch up: at least dozens of
+	// passed audits (each of which costs real storage and deposits).
+	if n < 20 {
+		t.Fatalf("sybil catches up after only %d audits", n)
+	}
+	if got := l.SybilResistance("never-seen"); got <= 0 {
+		t.Fatalf("resistance vs floor identity = %d", got)
+	}
+}

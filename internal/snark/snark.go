@@ -1,0 +1,247 @@
+// Package snark implements the paper's strawman auditing solution
+// (Section IV): a Merkle-path membership statement wrapped in a
+// ZK-SNARK-shaped proof system.
+//
+// SUBSTITUTION NOTE (see DESIGN.md #7). The paper's strawman uses the Rust
+// Bellman Groth16 prover. A real pairing-based SNARK with a SHA-256 circuit
+// is out of scope for a stdlib-only reproduction, so this package provides
+// a *simulated* proof system with the same interface, the same information
+// flow, and a calibrated cost model:
+//
+//   - Circuit synthesis counts R1CS constraints for the Merkle statement
+//     using the well-known ~25k constraints per SHA-256 compression.
+//   - TrustedSetup produces proving/verifying keys whose sizes follow the
+//     measured Bellman figures (Table II: 150 MB parameters for 3x10^5
+//     constraints).
+//   - Prove actually checks the witness (the Merkle path must be valid) and
+//     emits a 384-byte proof that is computationally hiding: it reveals
+//     nothing about the leaf or path beyond the statement bit, mirroring
+//     the zero-knowledge property the strawman buys.
+//   - Verify checks the proof against the statement only.
+//
+// What is NOT reproduced is SNARK soundness against a prover holding the
+// verifying key: the simulated proof is a MAC whose key is shared between
+// pk and vk. The paper's evaluation (Table II) depends only on costs and
+// interface, not on deploying the strawman in anger, so the substitution
+// preserves every measured behaviour while being honest about its limits.
+package snark
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"time"
+
+	"repro/internal/merkle"
+)
+
+// ProofSize is the Groth16 proof size at 128-bit security over BN254 with
+// uncompressed points: 2 G1 + 1 G2 = 64 + 64 + 128... the paper reports 384
+// bytes for the Bellman configuration it used, which we match.
+const ProofSize = 384
+
+// ConstraintsPerHash approximates the R1CS cost of one SHA-256 compression
+// in Bellman-style circuits.
+const ConstraintsPerHash = 27000
+
+// Circuit describes a Merkle-path statement: "I know a leaf and a path of
+// the given depth hashing to the public root".
+type Circuit struct {
+	LeafBytes int
+	Depth     int
+}
+
+// CircuitForFile returns the circuit auditing one leaf of a file of the
+// given size chunked into leafBytes leaves.
+func CircuitForFile(fileBytes, leafBytes int) Circuit {
+	leaves := (fileBytes + leafBytes - 1) / leafBytes
+	if leaves < 1 {
+		leaves = 1
+	}
+	depth := bits.Len(uint(leaves - 1))
+	return Circuit{LeafBytes: leafBytes, Depth: depth}
+}
+
+// Constraints returns the R1CS constraint count. Each interior Merkle node
+// hashes 64 bytes of children plus Merkle-Damgard padding (two SHA-256
+// compressions); the leaf hash needs one compression per 64 bytes (with its
+// padding block folded in). For a 1 KB file in 32-byte leaves this yields
+// ~3x10^5 constraints, the paper's Table II figure.
+func (c Circuit) Constraints() int {
+	leafCompressions := (c.LeafBytes + 63) / 64
+	if leafCompressions < 1 {
+		leafCompressions = 1
+	}
+	return (leafCompressions + 2*c.Depth) * ConstraintsPerHash
+}
+
+// CostModel maps constraint counts to the off-chain resource costs the
+// paper measured for the Bellman strawman (Table II, 1 KB file,
+// 3x10^5 constraints): 260 s setup, 150 MB parameters, 30 s proving,
+// 300 MB prover memory, 30 ms verification.
+type CostModel struct {
+	SetupTimePerConstraint time.Duration
+	ParamBytesPerConstr    float64
+	ProveTimePerConstraint time.Duration
+	ProveMemPerConstraint  float64
+	VerifyTime             time.Duration
+}
+
+// ReferenceCostModel is calibrated to reproduce Table II exactly at
+// 3x10^5 constraints.
+func ReferenceCostModel() CostModel {
+	const refConstraints = 300000
+	return CostModel{
+		SetupTimePerConstraint: 260 * time.Second / refConstraints,
+		ParamBytesPerConstr:    float64(150*1<<20) / refConstraints,
+		ProveTimePerConstraint: 30 * time.Second / refConstraints,
+		ProveMemPerConstraint:  float64(300*1<<20) / refConstraints,
+		VerifyTime:             30 * time.Millisecond,
+	}
+}
+
+// Costs is the estimated resource usage for one circuit.
+type Costs struct {
+	Constraints int
+	SetupTime   time.Duration
+	ParamBytes  int
+	ProveTime   time.Duration
+	ProveMem    int
+	VerifyTime  time.Duration
+}
+
+// Estimate returns the modeled costs for circuit c.
+func (m CostModel) Estimate(c Circuit) Costs {
+	n := c.Constraints()
+	return Costs{
+		Constraints: n,
+		SetupTime:   time.Duration(n) * m.SetupTimePerConstraint,
+		ParamBytes:  int(float64(n) * m.ParamBytesPerConstr),
+		ProveTime:   time.Duration(n) * m.ProveTimePerConstraint,
+		ProveMem:    int(float64(n) * m.ProveMemPerConstraint),
+		VerifyTime:  m.VerifyTime,
+	}
+}
+
+// ProvingKey lets a prover produce proofs for one circuit.
+type ProvingKey struct {
+	Circuit Circuit
+	secret  [32]byte
+}
+
+// VerifyingKey lets anyone check proofs. In this simulation it shares the
+// MAC secret with the proving key (see the package comment).
+type VerifyingKey struct {
+	Circuit Circuit
+	secret  [32]byte
+}
+
+// TrustedSetup runs the (simulated) circuit-specific trusted setup. The
+// rng parameter may be nil for crypto/rand. The returned sizes follow the
+// cost model; the keys themselves are compact stand-ins.
+func TrustedSetup(c Circuit, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
+	if c.LeafBytes <= 0 || c.Depth < 0 {
+		return nil, nil, fmt.Errorf("snark: invalid circuit %+v", c)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var secret [32]byte
+	if _, err := io.ReadFull(rng, secret[:]); err != nil {
+		return nil, nil, err
+	}
+	return &ProvingKey{Circuit: c, secret: secret},
+		&VerifyingKey{Circuit: c, secret: secret}, nil
+}
+
+// Statement is the public input: the Merkle root and the challenged index.
+type Statement struct {
+	Root  []byte
+	Index int
+}
+
+// Proof is a simulated 384-byte zero-knowledge proof.
+type Proof struct {
+	Data [ProofSize]byte
+}
+
+var (
+	// ErrWitnessInvalid is returned when the prover's witness does not
+	// satisfy the statement -- an honest SNARK prover cannot produce a
+	// proof in this case, and neither will this one.
+	ErrWitnessInvalid = errors.New("snark: witness does not satisfy the statement")
+)
+
+func statementDigest(secret [32]byte, st Statement, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, secret[:])
+	mac.Write(st.Root)
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(st.Index))
+	mac.Write(idx[:])
+	mac.Write(nonce)
+	return mac.Sum(nil)
+}
+
+// Prove checks the witness (leafCount, merkle proof) against the statement
+// and, when valid, emits a hiding proof. The proof bytes are a MAC over the
+// statement plus fresh randomness -- statistically independent of the leaf
+// contents, which is the on-chain privacy property the strawman exists for.
+func (pk *ProvingKey) Prove(st Statement, leafCount int, witness *merkle.Proof, rng io.Reader) (*Proof, error) {
+	if witness == nil || st.Index != witness.Index {
+		return nil, ErrWitnessInvalid
+	}
+	if !merkle.VerifyProof(st.Root, leafCount, witness) {
+		return nil, ErrWitnessInvalid
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var p Proof
+	nonce := p.Data[:32]
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	tag := statementDigest(pk.secret, st, nonce)
+	copy(p.Data[32:64], tag)
+	// Fill the remainder with expansion of the tag so the proof has the
+	// full 384-byte wire size without being compressible.
+	stream := tag
+	for off := 64; off < ProofSize; off += 32 {
+		next := sha256.Sum256(stream)
+		stream = next[:]
+		copy(p.Data[off:], stream)
+	}
+	return &p, nil
+}
+
+// Verify checks a proof against the statement.
+func (vk *VerifyingKey) Verify(st Statement, p *Proof) bool {
+	if p == nil {
+		return false
+	}
+	want := statementDigest(vk.secret, st, p.Data[:32])
+	if !hmac.Equal(want, p.Data[32:64]) {
+		return false
+	}
+	// The deterministic filler must match too (a malformed tail means a
+	// truncated or spliced proof).
+	stream := want
+	for off := 64; off < ProofSize; off += 32 {
+		next := sha256.Sum256(stream)
+		stream = next[:]
+		if !hmac.Equal(stream, p.Data[off:off+32]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxFileBytes is the practical file-size ceiling the paper reports for the
+// strawman implementation (~16 KB, citing Libra's discussion of circuit
+// scaling).
+const MaxFileBytes = 16 * 1024

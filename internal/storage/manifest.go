@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Manifest persistence: the manifest is the owner's only way to reassemble
+// an outsourced file, so it must survive owner restarts. JSON keeps it
+// inspectable; the content hash inside makes corruption detectable at
+// retrieval time regardless of how the manifest is stored.
+
+// MarshalJSON-friendly mirror with explicit field names.
+type manifestWire struct {
+	Name        string   `json:"name"`
+	K           int      `json:"data_shares"`
+	M           int      `json:"parity_shares"`
+	SealedSize  int      `json:"sealed_size"`
+	ShareKeys   []string `json:"share_keys"`
+	ContentHash []byte   `json:"content_hash"`
+}
+
+// EncodeManifest serializes a manifest to JSON.
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("storage: nil manifest")
+	}
+	return json.Marshal(manifestWire{
+		Name:        m.Name,
+		K:           m.K,
+		M:           m.M,
+		SealedSize:  m.SealedSize,
+		ShareKeys:   m.ShareKeys,
+		ContentHash: m.ContentHash[:],
+	})
+}
+
+// DecodeManifest parses a JSON manifest, validating structural sanity.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var w manifestWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("storage: bad manifest: %w", err)
+	}
+	if w.K < 1 || w.M < 0 || w.K+w.M > 255 {
+		return nil, fmt.Errorf("storage: manifest has invalid erasure parameters k=%d m=%d", w.K, w.M)
+	}
+	if len(w.ShareKeys) != w.K+w.M {
+		return nil, fmt.Errorf("storage: manifest lists %d share keys, want %d", len(w.ShareKeys), w.K+w.M)
+	}
+	if len(w.ContentHash) != len(Manifest{}.ContentHash) {
+		return nil, fmt.Errorf("storage: manifest content hash has %d bytes", len(w.ContentHash))
+	}
+	if w.SealedSize < 0 {
+		return nil, fmt.Errorf("storage: negative sealed size")
+	}
+	m := &Manifest{
+		Name:       w.Name,
+		K:          w.K,
+		M:          w.M,
+		SealedSize: w.SealedSize,
+		ShareKeys:  w.ShareKeys,
+	}
+	copy(m.ContentHash[:], w.ContentHash)
+	return m, nil
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	key := testKey(t)
+	data := make([]byte, 2000)
+	rand.Read(data)
+	man, shares, err := Prepare("roundtrip", key, data, 3, 7, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != man.Name || dec.K != man.K || dec.M != man.M ||
+		dec.SealedSize != man.SealedSize || dec.ContentHash != man.ContentHash {
+		t.Fatal("manifest round trip mismatch")
+	}
+
+	// A restored manifest must drive reassembly.
+	kept := make([][]byte, len(shares))
+	kept[1], kept[4], kept[8] = shares[1], shares[4], shares[8]
+	got, err := Reassemble(dec, key, kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembly via restored manifest failed")
+	}
+}
+
+func TestDecodeManifestValidation(t *testing.T) {
+	if _, err := DecodeManifest([]byte("not json")); err == nil {
+		t.Fatal("accepted junk")
+	}
+	if _, err := EncodeManifest(nil); err == nil {
+		t.Fatal("encoded nil manifest")
+	}
+	cases := []string{
+		`{"name":"x","data_shares":0,"parity_shares":1,"sealed_size":1,"share_keys":["a"],"content_hash":""}`,
+		`{"name":"x","data_shares":2,"parity_shares":1,"sealed_size":1,"share_keys":["a"],"content_hash":""}`,
+		`{"name":"x","data_shares":2,"parity_shares":1,"sealed_size":-5,"share_keys":["a","b","c"],"content_hash":""}`,
+		`{"name":"x","data_shares":2,"parity_shares":1,"sealed_size":1,"share_keys":["a","b","c"],"content_hash":"AAA="}`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeManifest([]byte(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
