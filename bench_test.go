@@ -12,11 +12,14 @@
 package repro_test
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
+	"math/big"
 	"testing"
 	"time"
 
+	"repro/dsnaudit"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/merkle"
@@ -381,6 +384,95 @@ func BenchmarkAblationBatchAudit(b *testing.B) {
 					b.Fatal("verify failed")
 				}
 			}
+		}
+	})
+}
+
+// buildEngagements deploys `n` independent audit contracts (one owner and
+// one primary share holder each) on a fresh network.
+func buildEngagements(b *testing.B, n, rounds, s, k int) (*dsnaudit.Network, []*dsnaudit.Engagement) {
+	b.Helper()
+	net, err := dsnaudit.NewNetwork()
+	if err != nil {
+		b.Fatal(err)
+	}
+	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
+	for i := 0; i < 16; i++ {
+		if _, err := net.AddProvider(fmt.Sprintf("sp-%02d", i), funds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	engs := make([]*dsnaudit.Engagement, n)
+	for i := range engs {
+		owner, err := dsnaudit.NewOwner(net, fmt.Sprintf("owner-%d", i), s, funds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 4<<10)
+		rand.Read(data)
+		sf, err := owner.Outsource(fmt.Sprintf("bench-%d", i), data, 3, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		terms := dsnaudit.DefaultTerms(rounds)
+		terms.ChallengeSize = k
+		engs[i], err = owner.Engage(sf, sf.Holders[0], terms)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return net, engs
+}
+
+// BenchmarkMultiEngagement measures end-to-end audit throughput for N
+// engagements x M rounds on one chain: the sequential RunAll driver against
+// the concurrent Scheduler (the paper's many-owners deployment, Fig. 10
+// right). Rounds/sec is the headline metric.
+func BenchmarkMultiEngagement(b *testing.B) {
+	const engagements, rounds, s, k = 4, 2, 8, 10
+	ctx := context.Background()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			_, engs := buildEngagements(b, engagements, rounds, s, k)
+			b.StartTimer()
+			total := 0
+			for _, e := range engs {
+				p, err := e.RunAll(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += p
+			}
+			if total != engagements*rounds {
+				b.Fatalf("passed %d rounds, want %d", total, engagements*rounds)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
+		}
+	})
+	b.Run("scheduler", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net, engs := buildEngagements(b, engagements, rounds, s, k)
+			sched := dsnaudit.NewScheduler(net)
+			for _, e := range engs {
+				if err := sched.Add(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := sched.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+			total := 0
+			for _, res := range sched.Results() {
+				total += res.Passed
+			}
+			if total != engagements*rounds {
+				b.Fatalf("passed %d rounds, want %d", total, engagements*rounds)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
 		}
 	})
 }

@@ -19,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
 	"log"
 	"math/big"
 	"os"
+	"os/signal"
 
 	"repro/dsnaudit"
 	"repro/internal/beacon"
@@ -33,6 +35,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// ^C cancels the audit loop cleanly mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		filePath  = flag.String("file", "", "file to outsource (default: random 64 KiB)")
 		chunkSize = flag.Int("s", 20, "chunk size in blocks")
@@ -104,7 +109,7 @@ func main() {
 				fmt.Printf("!! provider %s silently corrupted its copy\n", eng.Provider.Name)
 			}
 		}
-		ok, err := eng.RunRound()
+		ok, err := eng.RunRound(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

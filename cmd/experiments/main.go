@@ -9,7 +9,7 @@
 //	go run ./cmd/experiments -exp fig7 -quick  # smaller workloads
 //
 // Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 beacon
-// attack confidence.
+// attack confidence entropy scheduler.
 //
 // Absolute timings depend on this implementation's big.Int-based curve
 // arithmetic (the paper used assembly-optimized ECC); EXPERIMENTS.md
@@ -56,6 +56,7 @@ var registry = []experiment{
 	{"attack", "Section V-C on-chain leakage attack", runAttack},
 	{"confidence", "Detection confidence: model vs empirical", runConfidence},
 	{"entropy", "Merkle challenge-entropy exhaustion (Sec. II)", runEntropy},
+	{"scheduler", "Concurrent audit scheduler vs sequential driver", runScheduler},
 }
 
 func main() {

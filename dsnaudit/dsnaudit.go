@@ -15,27 +15,30 @@
 //     Chord DHT used to locate providers.
 //
 // The flow mirrors Fig. 2: Engage (negotiate/ack/freeze) then repeated
-// RunRound (challenge/prove/verify/pay). Lower-level access to every piece
-// (the pairing library, the PDP scheme, the attack tooling) lives in the
-// internal packages; this package is the stable surface.
+// audit rounds (challenge/prove/verify/pay). Two drivers are provided:
+//
+//   - Engagement.RunRound / RunAll: the sequential driver, one engagement
+//     at a time, mining the shared chain itself. Good for demos and
+//     single-contract flows.
+//   - Scheduler: the concurrent driver for the paper's real deployment
+//     shape (Section III-B: many owners x many providers on one chain).
+//     It subscribes to block events, wakes every registered engagement at
+//     its trigger height, fans the CPU-heavy proof generation out to a
+//     worker pool, and settles results per block. Owner.EngageAll deploys
+//     one contract per share holder so a k-of-(k+m) erasure-coded file is
+//     audited on every holder at once.
+//
+// All audit-path entry points take a context.Context for cancellation and
+// deadlines, failures surface as the sentinel errors in errors.go, and the
+// Responder interface decouples proof production from in-process providers
+// so remote or latency-simulating transports can be slotted in.
+//
+// Lower-level access to every piece (the pairing library, the PDP scheme,
+// the attack tooling) lives in the internal packages; this package is the
+// stable surface.
 package dsnaudit
 
-import (
-	"crypto/rand"
-	"errors"
-	"fmt"
-	"io"
-	"math/big"
-
-	"repro/internal/beacon"
-	"repro/internal/chain"
-	"repro/internal/contract"
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/dht"
-	"repro/internal/reputation"
-	"repro/internal/storage"
-)
+import "repro/internal/core"
 
 // Re-exported sizes (bytes) for documentation and assertions.
 const (
@@ -43,384 +46,3 @@ const (
 	PrivateProofSize = core.PrivateProofSize // 288: privacy-assured (sigma, y', psi, R)
 	ChallengeSize    = 48                    // C1 || C2 || r
 )
-
-// Network is the shared simulation substrate.
-type Network struct {
-	Chain      *chain.Chain
-	Ring       *dht.Ring
-	Beacon     contract.RandomnessSource
-	Reputation *reputation.Ledger
-
-	verifyGas uint64
-	providers map[string]*ProviderNode
-}
-
-// NetworkOption customizes NewNetwork.
-type NetworkOption func(*Network)
-
-// WithBeacon overrides the default trusted beacon (e.g. with a
-// commit-reveal beacon or a fixed-seed beacon for reproducible runs).
-func WithBeacon(b contract.RandomnessSource) NetworkOption {
-	return func(n *Network) { n.Beacon = b }
-}
-
-// WithVerifyGas overrides the modeled on-chain verification gas.
-func WithVerifyGas(gas uint64) NetworkOption {
-	return func(n *Network) { n.verifyGas = gas }
-}
-
-// NewNetwork creates a simulation with default Ethereum-like parameters and
-// the paper's Fig. 5 verification gas.
-func NewNetwork(opts ...NetworkOption) (*Network, error) {
-	trusted, err := beacon.NewTrusted(nil)
-	if err != nil {
-		return nil, err
-	}
-	gasModel := cost.PaperGasModel()
-	n := &Network{
-		Chain:      chain.New(chain.DefaultConfig()),
-		Ring:       dht.NewRing(),
-		Beacon:     trusted,
-		Reputation: reputation.NewLedger(),
-		verifyGas:  gasModel.AuditGas(core.PrivateProofSize, 7200*1000) - 21000 - 288*16,
-		providers:  make(map[string]*ProviderNode),
-	}
-	for _, opt := range opts {
-		opt(n)
-	}
-	return n, nil
-}
-
-// AddProvider creates a storage provider, joins it to the DHT and funds its
-// account so it can post deposits.
-func (n *Network) AddProvider(name string, funds *big.Int) (*ProviderNode, error) {
-	if _, ok := n.providers[name]; ok {
-		return nil, fmt.Errorf("dsnaudit: provider %q already exists", name)
-	}
-	node, err := n.Ring.Join(name)
-	if err != nil {
-		return nil, err
-	}
-	p := &ProviderNode{
-		Name:    name,
-		Store:   storage.NewProvider(name),
-		DHTNode: node,
-		network: n,
-		provers: make(map[chain.Address]*core.Prover),
-	}
-	n.providers[name] = p
-	n.Chain.Fund(chain.Address(name), funds)
-	return p, nil
-}
-
-// Provider returns a registered provider by name.
-func (n *Network) Provider(name string) (*ProviderNode, bool) {
-	p, ok := n.providers[name]
-	return p, ok
-}
-
-// LocateProviders returns `count` distinct providers responsible for the
-// given object key on the DHT ring (the paper's provider-candidate lookup),
-// re-ranked by reputation so slashed providers sink to the bottom (the
-// Section VI-A countermeasure).
-func (n *Network) LocateProviders(objectKey string, count int) ([]*ProviderNode, error) {
-	nodes, err := n.Ring.Providers(dht.HashString(objectKey), count)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, len(nodes))
-	for i, node := range nodes {
-		if _, ok := n.providers[node.Addr]; !ok {
-			return nil, fmt.Errorf("dsnaudit: DHT node %q has no provider", node.Addr)
-		}
-		names[i] = node.Addr
-	}
-	names = n.Reputation.Rank(names)
-	out := make([]*ProviderNode, len(names))
-	for i, name := range names {
-		out[i] = n.providers[name]
-	}
-	return out, nil
-}
-
-// ProviderNode is a storage provider: blob store plus audit responders.
-type ProviderNode struct {
-	Name    string
-	Store   *storage.Provider
-	DHTNode *dht.Node
-
-	network *Network
-	provers map[chain.Address]*core.Prover
-}
-
-// Address returns the provider's chain account.
-func (p *ProviderNode) Address() chain.Address { return chain.Address(p.Name) }
-
-// AcceptAuditData is the provider's side of contract initialization: it
-// validates a sample of authenticators against the public key (catching a
-// cheating owner, Section VI-A) and, on success, retains the audit state.
-func (p *ProviderNode) AcceptAuditData(contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error {
-	sample := make([]int, 0, sampleSize)
-	for i := 0; i < ef.NumChunks() && len(sample) < sampleSize; i += 1 + ef.NumChunks()/(sampleSize+1) {
-		sample = append(sample, i)
-	}
-	if err := core.VerifyAuthenticators(pk, ef, auths, sample); err != nil {
-		return fmt.Errorf("dsnaudit: provider %s rejects audit data: %w", p.Name, err)
-	}
-	prover, err := core.NewProver(pk, ef, auths)
-	if err != nil {
-		return err
-	}
-	p.provers[contractAddr] = prover
-	return nil
-}
-
-// Respond answers an open challenge on the given contract with a
-// privacy-assured proof.
-func (p *ProviderNode) Respond(contractAddr chain.Address, ch *core.Challenge) ([]byte, error) {
-	prover, ok := p.provers[contractAddr]
-	if !ok {
-		return nil, fmt.Errorf("dsnaudit: provider %s has no state for contract %s", p.Name, contractAddr)
-	}
-	proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
-	if err != nil {
-		return nil, err
-	}
-	return proof.Marshal()
-}
-
-// Prover exposes the provider's audit state for a contract (experiments
-// need it to inject corruption).
-func (p *ProviderNode) Prover(contractAddr chain.Address) (*core.Prover, bool) {
-	pr, ok := p.provers[contractAddr]
-	return pr, ok
-}
-
-// Owner is the data owner role.
-type Owner struct {
-	Name    string
-	EncKey  []byte // AES-256 key for the mandatory client-side encryption
-	AuditSK *core.PrivateKey
-
-	network *Network
-}
-
-// NewOwner creates an owner with fresh encryption and audit keys (chunk
-// size s) and funds its chain account.
-func NewOwner(n *Network, name string, s int, funds *big.Int) (*Owner, error) {
-	sk, err := core.KeyGen(s, rand.Reader)
-	if err != nil {
-		return nil, err
-	}
-	key := make([]byte, storage.KeySize)
-	if _, err := io.ReadFull(rand.Reader, key); err != nil {
-		return nil, err
-	}
-	n.Chain.Fund(chain.Address(name), funds)
-	return &Owner{Name: name, EncKey: key, AuditSK: sk, network: n}, nil
-}
-
-// Address returns the owner's chain account.
-func (o *Owner) Address() chain.Address { return chain.Address(o.Name) }
-
-// StoredFile is the owner's record of an outsourced file: the storage-plane
-// manifest plus the audit-plane state.
-type StoredFile struct {
-	Manifest *storage.Manifest
-	Sealed   []byte // the sealed blob (kept for test comparison; a real owner drops it)
-	Encoded  *core.EncodedFile
-	Auths    []*core.Authenticator
-	Holders  []*ProviderNode
-}
-
-// Outsource runs the owner pipeline of Fig. 1 end to end: seal the data,
-// erasure-code it k-of-(k+m), place the shares on DHT-selected providers,
-// and prepare the audit state (chunk encoding + authenticators) over the
-// sealed blob.
-func (o *Owner) Outsource(name string, data []byte, k, m int) (*StoredFile, error) {
-	man, shares, err := storage.Prepare(name, o.EncKey, data, k, m, rand.Reader)
-	if err != nil {
-		return nil, err
-	}
-	holders, err := o.network.LocateProviders(name, len(shares))
-	if err != nil {
-		return nil, err
-	}
-	for i, share := range shares {
-		holders[i].Store.Put(man.ShareKeys[i], share)
-	}
-
-	// Audit plane: the authenticated object is the sealed blob, so the
-	// audit never sees plaintext (the paper's mandatory-encryption rule).
-	sealed, err := storage.Seal(o.EncKey, data, rand.Reader)
-	if err != nil {
-		return nil, err
-	}
-	blob := sealed.Marshal()
-	ef, err := core.EncodeFile(blob, o.AuditSK.Pub.S)
-	if err != nil {
-		return nil, err
-	}
-	auths, err := core.Setup(o.AuditSK, ef)
-	if err != nil {
-		return nil, err
-	}
-	return &StoredFile{
-		Manifest: man,
-		Sealed:   blob,
-		Encoded:  ef,
-		Auths:    auths,
-		Holders:  holders,
-	}, nil
-}
-
-// Retrieve pulls shares back from the holders and reassembles the file,
-// tolerating up to m lost or corrupted providers.
-func (o *Owner) Retrieve(sf *StoredFile) ([]byte, error) {
-	shares := make([][]byte, len(sf.Manifest.ShareKeys))
-	for i, key := range sf.Manifest.ShareKeys {
-		data, err := sf.Holders[i].Store.Get(key)
-		if err != nil {
-			continue // lost share: the erasure code absorbs it
-		}
-		shares[i] = data
-	}
-	return storage.Reassemble(sf.Manifest, o.EncKey, shares)
-}
-
-// EngagementTerms sets the negotiable contract parameters.
-type EngagementTerms struct {
-	Rounds          int
-	ChallengeSize   int // k; 300 gives the paper's 95% @ 1% corruption
-	RoundInterval   uint64
-	ProofDeadline   uint64
-	PaymentPerRound *big.Int
-	ProviderDeposit *big.Int
-}
-
-// DefaultTerms returns sensible terms: k=300, daily-equivalent interval.
-func DefaultTerms(rounds int) EngagementTerms {
-	return EngagementTerms{
-		Rounds:          rounds,
-		ChallengeSize:   300,
-		RoundInterval:   2,
-		ProofDeadline:   2,
-		PaymentPerRound: big.NewInt(1000),
-		ProviderDeposit: big.NewInt(50_000),
-	}
-}
-
-// Engagement is a live audit contract between one owner and one provider
-// (the paper's simplified one-to-one mapping).
-type Engagement struct {
-	Contract *contract.Contract
-	Owner    *Owner
-	Provider *ProviderNode
-
-	network *Network
-}
-
-// Engage walks the full Initialize phase of Fig. 2 against one provider:
-// deploy, post parameters (Fig. 4's one-time cost), provider-side
-// authenticator validation, acknowledgment, and deposit freezing.
-func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (*Engagement, error) {
-	if terms.Rounds < 1 {
-		return nil, errors.New("dsnaudit: at least one audit round required")
-	}
-	addr := chain.Address(fmt.Sprintf("audit:%s:%s:%s", o.Name, p.Name, sf.Manifest.Name))
-	agreement := contract.Agreement{
-		Owner:            o.Address(),
-		Provider:         p.Address(),
-		Rounds:           terms.Rounds,
-		ChallengeSize:    terms.ChallengeSize,
-		RoundInterval:    terms.RoundInterval,
-		ProofDeadline:    terms.ProofDeadline,
-		PaymentPerRound:  terms.PaymentPerRound,
-		OwnerDeposit:     new(big.Int).Mul(terms.PaymentPerRound, big.NewInt(int64(terms.Rounds))),
-		ProviderDeposit:  terms.ProviderDeposit,
-		NumChunks:        sf.Encoded.NumChunks(),
-		PublicKey:        o.AuditSK.Pub,
-		PublicKeyPrivacy: true,
-	}
-	k, err := contract.Deploy(o.network.Chain, addr, agreement, o.network.Beacon, o.network.verifyGas)
-	if err != nil {
-		return nil, err
-	}
-	if err := k.Negotiate(); err != nil {
-		return nil, err
-	}
-	// Off-chain: hand the data and authenticators to the provider, which
-	// validates before acknowledging on chain.
-	if err := p.AcceptAuditData(addr, o.AuditSK.Pub, sf.Encoded, sf.Auths, 8); err != nil {
-		// The provider refuses a bad deal on chain, too; the owner's
-		// forged metadata is what reputation records here.
-		o.network.Reputation.Observe(o.Name, reputation.EventForgedMetadata)
-		if ackErr := k.Acknowledge(p.Address(), false); ackErr != nil {
-			return nil, ackErr
-		}
-		return nil, err
-	}
-	if err := k.Acknowledge(p.Address(), true); err != nil {
-		return nil, err
-	}
-	if err := k.Freeze(); err != nil {
-		return nil, err
-	}
-	return &Engagement{Contract: k, Owner: o, Provider: p, network: o.network}, nil
-}
-
-// RunRound advances the chain to the scheduled challenge, has the provider
-// respond, and settles the round. It returns whether the audit passed.
-func (e *Engagement) RunRound() (bool, error) {
-	for e.network.Chain.Height() < e.Contract.TriggerHeight() {
-		e.network.Chain.MineBlock()
-	}
-	ch, err := e.Contract.IssueChallenge()
-	if err != nil {
-		return false, err
-	}
-	e.network.Chain.MineBlock()
-	proofBytes, err := e.Provider.Respond(e.Contract.Addr, ch)
-	if err != nil {
-		// A provider that cannot produce a proof misses the deadline.
-		for e.network.Chain.Height() < e.Contract.TriggerHeight() {
-			e.network.Chain.MineBlock()
-		}
-		if mdErr := e.Contract.MissDeadline(); mdErr != nil {
-			return false, mdErr
-		}
-		e.network.Reputation.Observe(e.Provider.Name, reputation.EventDeadlineMissed)
-		return false, nil
-	}
-	passed, err := e.Contract.SubmitProof(e.Provider.Address(), proofBytes)
-	if err != nil {
-		return false, err
-	}
-	e.network.Chain.MineBlock()
-	if passed {
-		e.network.Reputation.Observe(e.Provider.Name, reputation.EventAuditPassed)
-		if e.Contract.State() == contract.StateExpired {
-			e.network.Reputation.Observe(e.Provider.Name, reputation.EventContractCompleted)
-		}
-	} else {
-		e.network.Reputation.Observe(e.Provider.Name, reputation.EventAuditFailed)
-	}
-	return passed, nil
-}
-
-// RunAll runs every remaining round, stopping early on failure. It returns
-// the number of passed rounds.
-func (e *Engagement) RunAll() (int, error) {
-	passed := 0
-	for e.Contract.State() == contract.StateAudit {
-		ok, err := e.RunRound()
-		if err != nil {
-			return passed, err
-		}
-		if !ok {
-			return passed, nil
-		}
-		passed++
-	}
-	return passed, nil
-}

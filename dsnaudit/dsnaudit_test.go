@@ -2,6 +2,7 @@ package dsnaudit
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"math/big"
 	"testing"
@@ -68,7 +69,7 @@ func TestEndToEndHappyPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	passed, err := eng.RunAll()
+	passed, err := eng.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCheatingProviderCaughtAndSlashed(t *testing.T) {
 	}
 
 	// First round passes honestly.
-	if ok, err := eng.RunRound(); err != nil || !ok {
+	if ok, err := eng.RunRound(context.Background()); err != nil || !ok {
 		t.Fatalf("honest round: %v %v", ok, err)
 	}
 
@@ -117,7 +118,7 @@ func TestCheatingProviderCaughtAndSlashed(t *testing.T) {
 	for i := 0; i < prover.File.NumChunks(); i++ {
 		prover.File.Corrupt(i, 0)
 	}
-	okRound, err := eng.RunRound()
+	okRound, err := eng.RunRound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestChainRecordsAuditTrail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RunAll(); err != nil {
+	if _, err := eng.RunAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// The chain must hold the expected events in order.

@@ -1,0 +1,261 @@
+package dsnaudit
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/reputation"
+)
+
+// EngagementTerms sets the negotiable contract parameters.
+type EngagementTerms struct {
+	Rounds          int
+	ChallengeSize   int // k; 300 gives the paper's 95% @ 1% corruption
+	RoundInterval   uint64
+	ProofDeadline   uint64
+	PaymentPerRound *big.Int
+	ProviderDeposit *big.Int
+}
+
+// DefaultTerms returns sensible terms: k=300, daily-equivalent interval.
+func DefaultTerms(rounds int) EngagementTerms {
+	return EngagementTerms{
+		Rounds:          rounds,
+		ChallengeSize:   300,
+		RoundInterval:   2,
+		ProofDeadline:   2,
+		PaymentPerRound: big.NewInt(1000),
+		ProviderDeposit: big.NewInt(50_000),
+	}
+}
+
+// Engagement is a live audit contract between one owner and one provider.
+type Engagement struct {
+	Contract *contract.Contract
+	Owner    *Owner
+	Provider *ProviderNode
+
+	// Responder produces this engagement's proofs. It defaults to Provider;
+	// swap it to interpose latency, faults, or a remote transport.
+	Responder Responder
+
+	network *Network
+}
+
+// Engage walks the full Initialize phase of Fig. 2 against one provider:
+// deploy, post parameters (Fig. 4's one-time cost), provider-side
+// authenticator validation, acknowledgment, and deposit freezing.
+func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (*Engagement, error) {
+	if terms.Rounds < 1 {
+		return nil, fmt.Errorf("%w: at least one audit round required", ErrInvalidTerms)
+	}
+	addr := chain.Address(fmt.Sprintf("audit:%s:%s:%s", o.Name, p.Name, sf.Manifest.Name))
+	agreement := contract.Agreement{
+		Owner:            o.Address(),
+		Provider:         p.Address(),
+		Rounds:           terms.Rounds,
+		ChallengeSize:    terms.ChallengeSize,
+		RoundInterval:    terms.RoundInterval,
+		ProofDeadline:    terms.ProofDeadline,
+		PaymentPerRound:  terms.PaymentPerRound,
+		OwnerDeposit:     new(big.Int).Mul(terms.PaymentPerRound, big.NewInt(int64(terms.Rounds))),
+		ProviderDeposit:  terms.ProviderDeposit,
+		NumChunks:        sf.Encoded.NumChunks(),
+		PublicKey:        o.AuditSK.Pub,
+		PublicKeyPrivacy: true,
+	}
+	k, err := contract.Deploy(o.network.Chain, addr, agreement, o.network.Beacon, o.network.verifyGas)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Negotiate(); err != nil {
+		return nil, err
+	}
+	// Off-chain: hand the data and authenticators to the provider, which
+	// validates before acknowledging on chain.
+	if err := p.AcceptAuditData(addr, o.AuditSK.Pub, sf.Encoded, sf.Auths, 8); err != nil {
+		// The provider refuses a bad deal on chain, too; the owner's
+		// forged metadata is what reputation records here.
+		o.network.Reputation.Observe(o.Name, reputation.EventForgedMetadata)
+		if ackErr := k.Acknowledge(p.Address(), false); ackErr != nil {
+			return nil, ackErr
+		}
+		return nil, fmt.Errorf("%w: %w", ErrRejectedAuditData, err)
+	}
+	if err := k.Acknowledge(p.Address(), true); err != nil {
+		return nil, err
+	}
+	if err := k.Freeze(); err != nil {
+		return nil, err
+	}
+	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: p, network: o.network}, nil
+}
+
+// EngageAll deploys one audit contract per distinct share holder of sf, so
+// an erasure-coded file is audited on every provider that holds a piece of
+// it (the paper's many-to-many deployment shape). All engagements share the
+// same terms. On a partial failure the already-established engagements are
+// returned along with the error; their contracts remain live.
+func (o *Owner) EngageAll(sf *StoredFile, terms EngagementTerms) (*EngagementSet, error) {
+	if len(sf.Holders) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoHolders, sf.Manifest.Name)
+	}
+	set := &EngagementSet{Owner: o, File: sf}
+	seen := make(map[string]bool)
+	for _, holder := range sf.Holders {
+		if seen[holder.Name] {
+			continue
+		}
+		seen[holder.Name] = true
+		eng, err := o.Engage(sf, holder, terms)
+		if err != nil {
+			return set, fmt.Errorf("dsnaudit: engage %s on %s: %w", sf.Manifest.Name, holder.Name, err)
+		}
+		set.Engagements = append(set.Engagements, eng)
+	}
+	return set, nil
+}
+
+// EngagementSet is a group of engagements auditing the same stored file,
+// one per distinct share holder.
+type EngagementSet struct {
+	Owner       *Owner
+	File        *StoredFile
+	Engagements []*Engagement
+}
+
+// SetSummary aggregates pass/fail accounting across an engagement set.
+type SetSummary struct {
+	Engagements  int // total engagements in the set
+	Expired      int // contracts that served every round
+	Aborted      int // contracts terminated by a failed audit
+	Active       int // contracts still in flight
+	RoundsPassed int // audit rounds passed across the set
+	RoundsFailed int // audit rounds failed across the set
+}
+
+// Summary tallies the set's per-contract states and round outcomes.
+func (s *EngagementSet) Summary() SetSummary {
+	var sum SetSummary
+	sum.Engagements = len(s.Engagements)
+	for _, e := range s.Engagements {
+		switch e.Contract.State() {
+		case contract.StateExpired:
+			sum.Expired++
+		case contract.StateAborted:
+			sum.Aborted++
+		default:
+			sum.Active++
+		}
+		for _, rec := range e.Contract.Records() {
+			if rec.Passed {
+				sum.RoundsPassed++
+			} else {
+				sum.RoundsFailed++
+			}
+		}
+	}
+	return sum
+}
+
+// AllPassed reports whether every engagement served every round.
+func (s *EngagementSet) AllPassed() bool {
+	sum := s.Summary()
+	return sum.Expired == sum.Engagements && sum.RoundsFailed == 0
+}
+
+// RunAll drives every engagement in the set sequentially to completion.
+// For the concurrent equivalent, register the set with a Scheduler.
+func (s *EngagementSet) RunAll(ctx context.Context) (SetSummary, error) {
+	for _, e := range s.Engagements {
+		if _, err := e.RunAll(ctx); err != nil {
+			return s.Summary(), err
+		}
+	}
+	return s.Summary(), nil
+}
+
+// RunRound advances the chain to the scheduled challenge, has the responder
+// answer, and settles the round. It returns whether the audit passed.
+// Running a closed engagement returns ErrContractClosed; a canceled ctx
+// aborts between steps and before proof generation.
+func (e *Engagement) RunRound(ctx context.Context) (bool, error) {
+	if e.Contract.State().Terminal() {
+		return false, fmt.Errorf("%w: %s (%s)", ErrContractClosed, e.Contract.Addr, e.Contract.State())
+	}
+	for e.network.Chain.Height() < e.Contract.TriggerHeight() {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		e.network.Chain.MineBlock()
+	}
+	ch, err := e.Contract.IssueChallenge()
+	if err != nil {
+		return false, err
+	}
+	if ch == nil {
+		// The trigger fired with no rounds left: the contract expired.
+		return false, fmt.Errorf("%w: %s", ErrContractClosed, e.Contract.Addr)
+	}
+	e.network.Chain.MineBlock()
+	proofBytes, err := e.Responder.Respond(ctx, e.Contract.Addr, ch)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return false, ctxErr
+		}
+		// A responder that cannot produce a proof misses the deadline.
+		for e.network.Chain.Height() < e.Contract.TriggerHeight() {
+			e.network.Chain.MineBlock()
+		}
+		return false, e.missDeadline()
+	}
+	passed, err := e.Contract.SubmitProof(e.Provider.Address(), proofBytes)
+	if err != nil {
+		return false, err
+	}
+	e.network.Chain.MineBlock()
+	e.recordOutcome(passed)
+	return passed, nil
+}
+
+// RunAll runs every remaining round, stopping early on failure. It returns
+// the number of passed rounds.
+func (e *Engagement) RunAll(ctx context.Context) (int, error) {
+	passed := 0
+	for e.Contract.State() == contract.StateAudit {
+		ok, err := e.RunRound(ctx)
+		if err != nil {
+			return passed, err
+		}
+		if !ok {
+			return passed, nil
+		}
+		passed++
+	}
+	return passed, nil
+}
+
+// missDeadline settles a missed proof deadline: the contract slashes the
+// provider and reputation records the miss.
+func (e *Engagement) missDeadline() error {
+	if err := e.Contract.MissDeadline(); err != nil {
+		return err
+	}
+	e.network.Reputation.Observe(e.Provider.Name, reputation.EventDeadlineMissed)
+	return nil
+}
+
+// recordOutcome feeds one settled round into the reputation ledger.
+func (e *Engagement) recordOutcome(passed bool) {
+	if passed {
+		e.network.Reputation.Observe(e.Provider.Name, reputation.EventAuditPassed)
+		if e.Contract.State() == contract.StateExpired {
+			e.network.Reputation.Observe(e.Provider.Name, reputation.EventContractCompleted)
+		}
+	} else {
+		e.network.Reputation.Observe(e.Provider.Name, reputation.EventAuditFailed)
+	}
+}

@@ -1,0 +1,44 @@
+package dsnaudit
+
+import "errors"
+
+// Sentinel errors returned by the public API. Wrapped errors carry the
+// contextual detail (provider name, contract address); match with errors.Is.
+var (
+	// ErrUnknownProvider is returned when a DHT node or lookup names a
+	// provider that was never registered with AddProvider.
+	ErrUnknownProvider = errors.New("dsnaudit: unknown provider")
+
+	// ErrDuplicateProvider is returned by AddProvider for a name already in
+	// use on the network.
+	ErrDuplicateProvider = errors.New("dsnaudit: provider already exists")
+
+	// ErrNoAuditState is returned by a provider asked to respond on a
+	// contract it holds no audit state for.
+	ErrNoAuditState = errors.New("dsnaudit: no audit state for contract")
+
+	// ErrContractClosed is returned when an engagement whose contract
+	// already reached a terminal state (EXPIRED/ABORTED) is run or
+	// scheduled again.
+	ErrContractClosed = errors.New("dsnaudit: contract closed")
+
+	// ErrInvalidTerms is returned by Engage/EngageAll for unusable
+	// engagement terms (e.g. zero rounds).
+	ErrInvalidTerms = errors.New("dsnaudit: invalid engagement terms")
+
+	// ErrRejectedAuditData is returned when a provider's validation of the
+	// owner's authenticators fails during Engage.
+	ErrRejectedAuditData = errors.New("dsnaudit: provider rejected audit data")
+
+	// ErrNoHolders is returned by EngageAll on a stored file with no share
+	// holders.
+	ErrNoHolders = errors.New("dsnaudit: stored file has no holders")
+
+	// ErrSchedulerRunning is returned by Scheduler.Run if the scheduler is
+	// already running.
+	ErrSchedulerRunning = errors.New("dsnaudit: scheduler already running")
+
+	// ErrAlreadyScheduled is returned by Scheduler.Add for an engagement
+	// that is already registered.
+	ErrAlreadyScheduled = errors.New("dsnaudit: engagement already scheduled")
+)

@@ -1,6 +1,7 @@
 package dsnaudit_test
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
@@ -41,7 +42,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	passed, err := eng.RunAll()
+	passed, err := eng.RunAll(context.Background())
 	if err != nil {
 		panic(err)
 	}

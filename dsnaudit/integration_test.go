@@ -1,6 +1,7 @@
 package dsnaudit
 
 import (
+	"context"
 	"crypto/rand"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestVDFBeaconIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	passed, err := eng.RunAll()
+	passed, err := eng.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestCommitRevealBeaconIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RunAll(); err != nil {
+	if _, err := eng.RunAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Contract.State() != contract.StateExpired {
@@ -128,7 +129,7 @@ func TestRestoredOwnerContinuesAuditing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := eng.RunRound(); err != nil || !ok {
+	if ok, err := eng.RunRound(context.Background()); err != nil || !ok {
 		t.Fatalf("round 1: %v %v", ok, err)
 	}
 
@@ -147,7 +148,7 @@ func TestRestoredOwnerContinuesAuditing(t *testing.T) {
 	// provider's authenticators are unchanged, and the restored owner can
 	// re-derive identical authenticators if it ever re-outsources.
 	for i := 0; i < 2; i++ {
-		if ok, err := eng.RunRound(); err != nil || !ok {
+		if ok, err := eng.RunRound(context.Background()); err != nil || !ok {
 			t.Fatalf("post-restore round: %v %v", ok, err)
 		}
 	}

@@ -1,0 +1,124 @@
+package dsnaudit
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/beacon"
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dht"
+	"repro/internal/reputation"
+	"repro/internal/storage"
+)
+
+// Network is the shared simulation substrate.
+type Network struct {
+	Chain      *chain.Chain
+	Ring       *dht.Ring
+	Beacon     contract.RandomnessSource
+	Reputation *reputation.Ledger
+
+	verifyGas uint64
+
+	mu        sync.RWMutex
+	providers map[string]*ProviderNode
+}
+
+// NetworkOption customizes NewNetwork.
+type NetworkOption func(*Network)
+
+// WithBeacon overrides the default trusted beacon (e.g. with a
+// commit-reveal beacon or a fixed-seed beacon for reproducible runs).
+func WithBeacon(b contract.RandomnessSource) NetworkOption {
+	return func(n *Network) { n.Beacon = b }
+}
+
+// WithVerifyGas overrides the modeled on-chain verification gas.
+func WithVerifyGas(gas uint64) NetworkOption {
+	return func(n *Network) { n.verifyGas = gas }
+}
+
+// NewNetwork creates a simulation with default Ethereum-like parameters and
+// the paper's Fig. 5 verification gas.
+func NewNetwork(opts ...NetworkOption) (*Network, error) {
+	trusted, err := beacon.NewTrusted(nil)
+	if err != nil {
+		return nil, err
+	}
+	gasModel := cost.PaperGasModel()
+	n := &Network{
+		Chain:      chain.New(chain.DefaultConfig()),
+		Ring:       dht.NewRing(),
+		Beacon:     trusted,
+		Reputation: reputation.NewLedger(),
+		verifyGas:  gasModel.AuditGas(core.PrivateProofSize, 7200*1000) - 21000 - 288*16,
+		providers:  make(map[string]*ProviderNode),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n, nil
+}
+
+// AddProvider creates a storage provider, joins it to the DHT and funds its
+// account so it can post deposits. Adding a name twice returns
+// ErrDuplicateProvider.
+func (n *Network) AddProvider(name string, funds *big.Int) (*ProviderNode, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.providers[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateProvider, name)
+	}
+	node, err := n.Ring.Join(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &ProviderNode{
+		Name:    name,
+		Store:   storage.NewProvider(name),
+		DHTNode: node,
+		network: n,
+		provers: make(map[chain.Address]*core.Prover),
+	}
+	n.providers[name] = p
+	n.Chain.Fund(chain.Address(name), funds)
+	return p, nil
+}
+
+// Provider returns a registered provider by name.
+func (n *Network) Provider(name string) (*ProviderNode, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	p, ok := n.providers[name]
+	return p, ok
+}
+
+// LocateProviders returns `count` distinct providers responsible for the
+// given object key on the DHT ring (the paper's provider-candidate lookup),
+// re-ranked by reputation so slashed providers sink to the bottom (the
+// Section VI-A countermeasure).
+func (n *Network) LocateProviders(objectKey string, count int) ([]*ProviderNode, error) {
+	nodes, err := n.Ring.Providers(dht.HashString(objectKey), count)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, len(nodes))
+	for i, node := range nodes {
+		if _, ok := n.providers[node.Addr]; !ok {
+			return nil, fmt.Errorf("%w: DHT node %q", ErrUnknownProvider, node.Addr)
+		}
+		names[i] = node.Addr
+	}
+	names = n.Reputation.Rank(names)
+	out := make([]*ProviderNode, len(names))
+	for i, name := range names {
+		out[i] = n.providers[name]
+	}
+	return out, nil
+}

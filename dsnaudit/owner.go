@@ -1,0 +1,103 @@
+package dsnaudit
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Owner is the data owner role.
+type Owner struct {
+	Name    string
+	EncKey  []byte // AES-256 key for the mandatory client-side encryption
+	AuditSK *core.PrivateKey
+
+	network *Network
+}
+
+// NewOwner creates an owner with fresh encryption and audit keys (chunk
+// size s) and funds its chain account.
+func NewOwner(n *Network, name string, s int, funds *big.Int) (*Owner, error) {
+	sk, err := core.KeyGen(s, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	key := make([]byte, storage.KeySize)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, err
+	}
+	n.Chain.Fund(chain.Address(name), funds)
+	return &Owner{Name: name, EncKey: key, AuditSK: sk, network: n}, nil
+}
+
+// Address returns the owner's chain account.
+func (o *Owner) Address() chain.Address { return chain.Address(o.Name) }
+
+// StoredFile is the owner's record of an outsourced file: the storage-plane
+// manifest plus the audit-plane state.
+type StoredFile struct {
+	Manifest *storage.Manifest
+	Sealed   []byte // the sealed blob (kept for test comparison; a real owner drops it)
+	Encoded  *core.EncodedFile
+	Auths    []*core.Authenticator
+	Holders  []*ProviderNode
+}
+
+// Outsource runs the owner pipeline of Fig. 1 end to end: seal the data,
+// erasure-code it k-of-(k+m), place the shares on DHT-selected providers,
+// and prepare the audit state (chunk encoding + authenticators) over the
+// sealed blob.
+func (o *Owner) Outsource(name string, data []byte, k, m int) (*StoredFile, error) {
+	man, shares, err := storage.Prepare(name, o.EncKey, data, k, m, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	holders, err := o.network.LocateProviders(name, len(shares))
+	if err != nil {
+		return nil, err
+	}
+	for i, share := range shares {
+		holders[i].Store.Put(man.ShareKeys[i], share)
+	}
+
+	// Audit plane: the authenticated object is the sealed blob, so the
+	// audit never sees plaintext (the paper's mandatory-encryption rule).
+	sealed, err := storage.Seal(o.EncKey, data, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	blob := sealed.Marshal()
+	ef, err := core.EncodeFile(blob, o.AuditSK.Pub.S)
+	if err != nil {
+		return nil, err
+	}
+	auths, err := core.Setup(o.AuditSK, ef)
+	if err != nil {
+		return nil, err
+	}
+	return &StoredFile{
+		Manifest: man,
+		Sealed:   blob,
+		Encoded:  ef,
+		Auths:    auths,
+		Holders:  holders,
+	}, nil
+}
+
+// Retrieve pulls shares back from the holders and reassembles the file,
+// tolerating up to m lost or corrupted providers.
+func (o *Owner) Retrieve(sf *StoredFile) ([]byte, error) {
+	shares := make([][]byte, len(sf.Manifest.ShareKeys))
+	for i, key := range sf.Manifest.ShareKeys {
+		data, err := sf.Holders[i].Store.Get(key)
+		if err != nil {
+			continue // lost share: the erasure code absorbs it
+		}
+		shares[i] = data
+	}
+	return storage.Reassemble(sf.Manifest, o.EncKey, shares)
+}

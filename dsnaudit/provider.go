@@ -1,0 +1,113 @@
+package dsnaudit
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/storage"
+)
+
+// Responder produces audit proofs for open challenges. ProviderNode is the
+// in-process implementation; the interface exists so the Scheduler (and any
+// other driver) can talk to a remote provider, a latency simulator, or a
+// fault injector without knowing the difference.
+type Responder interface {
+	// Respond answers an open challenge on the given contract with a
+	// marshaled privacy-assured proof. Implementations must honor ctx
+	// cancellation.
+	Respond(ctx context.Context, contractAddr chain.Address, ch *core.Challenge) ([]byte, error)
+}
+
+// ProviderNode is a storage provider: blob store plus audit responders.
+// Its audit-state methods are safe for concurrent use, so one provider can
+// serve many simultaneous engagements.
+type ProviderNode struct {
+	Name    string
+	Store   *storage.Provider
+	DHTNode *dht.Node
+
+	network *Network
+
+	mu      sync.RWMutex
+	provers map[chain.Address]*core.Prover
+}
+
+var _ Responder = (*ProviderNode)(nil)
+
+// Address returns the provider's chain account.
+func (p *ProviderNode) Address() chain.Address { return chain.Address(p.Name) }
+
+// AcceptAuditData is the provider's side of contract initialization: it
+// validates a sample of authenticators against the public key (catching a
+// cheating owner, Section VI-A) and, on success, retains the audit state.
+// sampleSize chunks are checked, spread evenly over the file; a sampleSize
+// at or above the chunk count validates every authenticator.
+func (p *ProviderNode) AcceptAuditData(contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error {
+	sample := sampleIndices(ef.NumChunks(), sampleSize)
+	if err := core.VerifyAuthenticators(pk, ef, auths, sample); err != nil {
+		return fmt.Errorf("dsnaudit: provider %s rejects audit data: %w", p.Name, err)
+	}
+	// Retain an independent replica: many providers hold audit state for
+	// the same file (EngageAll), and corruption at one must stay local.
+	prover, err := core.NewProver(pk, ef.Clone(), core.CloneAuthenticators(auths))
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.provers[contractAddr] = prover
+	p.mu.Unlock()
+	return nil
+}
+
+// sampleIndices spreads sampleSize distinct indices evenly over [0, n).
+// sampleSize is clamped to [1, n], so small files are fully validated
+// rather than under-sampled.
+func sampleIndices(n, sampleSize int) []int {
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	sample := make([]int, sampleSize)
+	for j := range sample {
+		sample[j] = j * n / sampleSize
+	}
+	return sample
+}
+
+// Respond answers an open challenge on the given contract with a
+// privacy-assured proof. It returns ErrNoAuditState if the provider never
+// accepted audit data for the contract, and ctx.Err() if the context is
+// done before proving starts.
+func (p *ProviderNode) Respond(ctx context.Context, contractAddr chain.Address, ch *core.Challenge) ([]byte, error) {
+	p.mu.RLock()
+	prover, ok := p.provers[contractAddr]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: provider %s, contract %s", ErrNoAuditState, p.Name, contractAddr)
+	}
+	// The pairing computation is not interruptible; check before starting.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return proof.Marshal()
+}
+
+// Prover exposes the provider's audit state for a contract (experiments
+// need it to inject corruption).
+func (p *ProviderNode) Prover(contractAddr chain.Address) (*core.Prover, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pr, ok := p.provers[contractAddr]
+	return pr, ok
+}

@@ -1,6 +1,7 @@
 package dsnaudit
 
 import (
+	"context"
 	"crypto/rand"
 	"testing"
 )
@@ -27,7 +28,7 @@ func TestReputationTracksAuditOutcomes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RunAll(); err != nil {
+	if _, err := eng.RunAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	honestTrust := n.Reputation.Trust(honest.Name)
@@ -55,7 +56,7 @@ func TestReputationTracksAuditOutcomes(t *testing.T) {
 	for i := 0; i < prover.File.NumChunks(); i++ {
 		prover.File.Corrupt(i, 0)
 	}
-	if ok, err := eng2.RunRound(); err != nil || ok {
+	if ok, err := eng2.RunRound(context.Background()); err != nil || ok {
 		t.Fatalf("cheating round: ok=%v err=%v", ok, err)
 	}
 	if n.Reputation.Trust(cheater.Name) != 0 {

@@ -1,0 +1,373 @@
+package dsnaudit
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+// Scheduler drives any number of engagements concurrently on one chain.
+// It is the block clock of the simulation: each scheduler tick mines one
+// block, the chain's subscription API delivers the block event, and every
+// registered engagement whose trigger height is reached is woken. The
+// CPU-heavy proof generation (the pairing step) fans out to a worker pool;
+// settlement (on-chain verification, payment, reputation) happens on the
+// scheduler goroutine, per block, so contract state stays single-writer.
+//
+// The sequential Engagement.RunRound driver mines the chain itself and
+// therefore must not run concurrently with a Scheduler on the same chain.
+type Scheduler struct {
+	net     *Network
+	workers int
+
+	mu      sync.Mutex
+	running bool
+	entries []*schedEntry
+	byEng   map[*Engagement]*schedEntry
+}
+
+// Result is the per-engagement outcome accounting kept by the scheduler.
+type Result struct {
+	Rounds int            // settled rounds
+	Passed int            // rounds that passed verification
+	Failed int            // rounds that failed or missed the deadline
+	State  contract.State // contract state at last settlement
+	Err    error          // terminal error, if the engagement errored out
+}
+
+type schedPhase int
+
+const (
+	phaseWaiting  schedPhase = iota // in AUDIT, waiting for the trigger height
+	phaseProving                    // challenge issued, proof job in flight
+	phaseDeadline                   // responder failed; waiting out the proof deadline
+	phaseDone                       // terminal
+)
+
+type schedEntry struct {
+	eng    *Engagement
+	phase  schedPhase
+	result Result
+}
+
+type proofJob struct {
+	entry *schedEntry
+	ch    *core.Challenge
+}
+
+type proofResult struct {
+	entry *schedEntry
+	proof []byte
+	err   error
+}
+
+// SchedulerOption customizes NewScheduler.
+type SchedulerOption func(*Scheduler)
+
+// WithWorkers sets the proof-generation worker pool size (default:
+// runtime.NumCPU()).
+func WithWorkers(n int) SchedulerOption {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// NewScheduler creates a scheduler over the network's chain.
+func NewScheduler(n *Network, opts ...SchedulerOption) *Scheduler {
+	s := &Scheduler{
+		net:     n,
+		workers: runtime.NumCPU(),
+		byEng:   make(map[*Engagement]*schedEntry),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Add registers an engagement. Engagements may be added before Run or while
+// it is executing; a contract already in a terminal state is rejected with
+// ErrContractClosed, a duplicate with ErrAlreadyScheduled.
+func (s *Scheduler) Add(e *Engagement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byEng[e]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyScheduled, e.Contract.Addr)
+	}
+	if e.Contract.State().Terminal() {
+		return fmt.Errorf("%w: %s (%s)", ErrContractClosed, e.Contract.Addr, e.Contract.State())
+	}
+	entry := &schedEntry{eng: e, result: Result{State: e.Contract.State()}}
+	s.entries = append(s.entries, entry)
+	s.byEng[e] = entry
+	return nil
+}
+
+// AddSet registers every engagement of a set.
+func (s *Scheduler) AddSet(set *EngagementSet) error {
+	for _, e := range set.Engagements {
+		if err := s.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result returns the scheduler's accounting for one engagement.
+func (s *Scheduler) Result(e *Engagement) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.byEng[e]
+	if !ok {
+		return Result{}, false
+	}
+	return entry.result, true
+}
+
+// Results returns a snapshot of every registered engagement's accounting.
+func (s *Scheduler) Results() map[*Engagement]Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[*Engagement]Result, len(s.byEng))
+	for e, entry := range s.byEng {
+		out[e] = entry.result
+	}
+	return out
+}
+
+// Run executes the block loop until every registered engagement reaches a
+// terminal state or ctx is canceled. On cancellation it drains in-flight
+// proof jobs (responders see the canceled ctx) and returns ctx.Err();
+// contracts mid-round stay in PROVE and a later Run can resume them.
+func (s *Scheduler) Run(ctx context.Context) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return ErrSchedulerRunning
+	}
+	s.running = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		// Entries interrupted mid-proof keep an open challenge on the
+		// contract; re-arm them so a later Run resumes from PROVE.
+		for _, entry := range s.entries {
+			if entry.phase == phaseProving {
+				entry.phase = phaseWaiting
+			}
+		}
+		s.running = false
+		s.mu.Unlock()
+	}()
+
+	sub := s.net.Chain.Subscribe()
+	defer sub.Unsubscribe()
+
+	jobs := make(chan proofJob)
+	results := make(chan proofResult)
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				proof, err := job.entry.eng.Responder.Respond(ctx, job.entry.eng.Contract.Addr, job.ch)
+				results <- proofResult{entry: job.entry, proof: proof, err: err}
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	for {
+		// The completion check holds the registration lock so that an Add
+		// racing with Run's exit either lands before the check (and is
+		// driven) or strictly after Run has returned (and waits for the
+		// next Run) — never silently dropped.
+		s.mu.Lock()
+		active := 0
+		for _, entry := range s.entries {
+			if entry.phase != phaseDone {
+				active++
+			}
+		}
+		if active == 0 {
+			// Flush the final tick's settlement transactions into blocks.
+			for s.net.Chain.PendingCount() > 0 {
+				s.net.Chain.MineBlock()
+			}
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// One tick = one block: mine, then receive the event through the
+		// chain's subscription API.
+		s.net.Chain.MineBlock()
+		var height uint64
+		select {
+		case blk := <-sub.Blocks():
+			height = blk.Number
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+
+		due := s.wake(height)
+
+		// Fan the due proofs out to the pool and settle each as it lands.
+		// Settlement stays on this goroutine: contract state is
+		// single-writer by construction.
+		inflight := 0
+		aborted := false
+		ctxDone := ctx.Done()
+		for len(due) > 0 || inflight > 0 {
+			var jobCh chan proofJob
+			var next proofJob
+			if len(due) > 0 && !aborted {
+				jobCh = jobs
+				next = due[0]
+			}
+			select {
+			case jobCh <- next:
+				due = due[1:]
+				inflight++
+			case r := <-results:
+				inflight--
+				if !aborted {
+					s.settle(ctx, r)
+				}
+			case <-ctxDone:
+				// Stop dispatching; keep draining so no worker blocks.
+				// ctxDone goes nil so the drain doesn't spin on it.
+				aborted = true
+				due = nil
+				ctxDone = nil
+			}
+		}
+		if aborted {
+			return ctx.Err()
+		}
+	}
+}
+
+// wake scans the registered engagements at block height h: engagements in
+// AUDIT whose trigger height is reached get a challenge issued and a proof
+// job prepared; engagements waiting out a proof deadline past their trigger
+// are settled as missed.
+func (s *Scheduler) wake(h uint64) []proofJob {
+	s.mu.Lock()
+	entries := append([]*schedEntry(nil), s.entries...)
+	s.mu.Unlock()
+
+	var due []proofJob
+	for _, entry := range entries {
+		e := entry.eng
+		switch entry.phase {
+		case phaseWaiting:
+			switch e.Contract.State() {
+			case contract.StateAudit:
+				if e.Contract.TriggerHeight() > h {
+					continue
+				}
+				ch, err := e.Contract.IssueChallenge()
+				if err != nil {
+					s.finish(entry, err)
+					continue
+				}
+				if ch == nil {
+					// Trigger fired with no rounds left: contract expired.
+					s.finish(entry, nil)
+					continue
+				}
+				entry.phase = phaseProving
+				due = append(due, proofJob{entry: entry, ch: ch})
+			case contract.StateProve:
+				// Adopted mid-round (e.g. a canceled previous Run): resume
+				// the open challenge.
+				entry.phase = phaseProving
+				due = append(due, proofJob{entry: entry, ch: e.Contract.CurrentChallenge()})
+			default:
+				s.finish(entry, nil)
+			}
+		case phaseDeadline:
+			if e.Contract.TriggerHeight() > h {
+				continue
+			}
+			if err := e.missDeadline(); err != nil {
+				s.finish(entry, err)
+				continue
+			}
+			s.recordRound(entry, false)
+			s.finish(entry, nil) // a missed deadline aborts the contract
+		}
+	}
+	return due
+}
+
+// settle lands one proof result on chain: verification, payment and
+// reputation. A responder error parks the engagement until the proof
+// deadline passes — unless the scheduler's own context is canceled, in
+// which case the error is the cancellation, not the responder's fault, and
+// the entry stays in phaseProving so Run's exit path re-arms it for resume
+// (a deadline park here would slash an honest provider on the next Run).
+func (s *Scheduler) settle(ctx context.Context, r proofResult) {
+	entry, e := r.entry, r.entry.eng
+	if r.err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		s.mu.Lock()
+		entry.phase = phaseDeadline
+		s.mu.Unlock()
+		return
+	}
+	passed, err := e.Contract.SubmitProof(e.Provider.Address(), r.proof)
+	if err != nil {
+		s.finish(entry, err)
+		return
+	}
+	e.recordOutcome(passed)
+	s.recordRound(entry, passed)
+	if e.Contract.State().Terminal() {
+		s.finish(entry, nil)
+		return
+	}
+	s.mu.Lock()
+	entry.phase = phaseWaiting
+	entry.result.State = e.Contract.State()
+	s.mu.Unlock()
+}
+
+// recordRound updates an entry's pass/fail accounting.
+func (s *Scheduler) recordRound(entry *schedEntry, passed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry.result.Rounds++
+	if passed {
+		entry.result.Passed++
+	} else {
+		entry.result.Failed++
+	}
+}
+
+// finish marks an entry terminal.
+func (s *Scheduler) finish(entry *schedEntry, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry.phase = phaseDone
+	entry.result.State = entry.eng.Contract.State()
+	if err != nil {
+		entry.result.Err = err
+	}
+}

@@ -8,11 +8,17 @@
 // ever tries to retrieve (the paper: "the user may never find out whether
 // partial data is lost until the time of data retrieval").
 //
+// The valuable summer album is audited on EVERY share holder via
+// Owner.EngageAll (one contract per holder), so corruption of any single
+// share is caught; the other albums audit their primary holder only. One
+// Scheduler drives all contracts concurrently on the shared chain.
+//
 //	go run ./examples/archivebackup
 package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -24,6 +30,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
 
 	net, err := dsnaudit.NewNetwork()
@@ -60,23 +67,39 @@ func main() {
 			name, len(data)/1024, countDistinct(sf))
 	}
 
-	// Engage an audit contract per album with the primary holder.
-	terms := dsnaudit.DefaultTerms(4)
+	// Engage audit contracts: summer on every holder, the rest on their
+	// primary holder. One scheduler drives everything.
+	terms := dsnaudit.DefaultTerms(3)
 	terms.ChallengeSize = 60
+	sched := dsnaudit.NewScheduler(net)
+
 	engagements := map[string]*dsnaudit.Engagement{}
-	for name, sf := range stored {
-		eng, err := owner.Engage(sf, sf.Holders[0], terms)
+	for _, name := range []string{"album-spring", "album-autumn"} {
+		eng, err := owner.Engage(stored[name], stored[name].Holders[0], terms)
 		if err != nil {
 			log.Fatal(err)
 		}
 		engagements[name] = eng
+		if err := sched.Add(eng); err != nil {
+			log.Fatal(err)
+		}
 	}
+	summerSet, err := owner.EngageAll(stored["album-summer"], terms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.AddSet(summerSet); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontracts live: 2 primary-holder audits + %d summer holders (EngageAll)\n",
+		len(summerSet.Engagements))
 
 	// Disaster strikes: the primary holder of album-summer silently drops
 	// its audit data to reclaim space; two other providers holding
 	// album-spring shares crash outright.
 	summer := stored["album-summer"]
-	if prover, ok := summer.Holders[0].Prover(engagements["album-summer"].Contract.Addr); ok {
+	summerPrimary := summerSet.Engagements[0]
+	if prover, ok := summer.Holders[0].Prover(summerPrimary.Contract.Addr); ok {
 		for i := 0; i < prover.File.NumChunks(); i++ {
 			prover.File.Corrupt(i, 0)
 		}
@@ -84,26 +107,31 @@ func main() {
 	spring := stored["album-spring"]
 	spring.Holders[2].Store.Drop(spring.Manifest.ShareKeys[2])
 	spring.Holders[6].Store.Drop(spring.Manifest.ShareKeys[6])
-	fmt.Println("\n-- failures injected: summer audit data dropped; 2 spring share holders crashed --")
+	fmt.Println("-- failures injected: summer audit data dropped; 2 spring share holders crashed --")
 
-	// The periodic audits run. Summer's provider gets caught and slashed
-	// long before retrieval time.
+	// The scheduler's periodic audits run, all contracts concurrently.
+	// Summer's primary gets caught and slashed long before retrieval time.
+	if err := sched.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
 	for name, eng := range engagements {
-		passed, err := eng.RunAll()
-		if err != nil {
-			log.Fatal(err)
-		}
+		res, _ := sched.Result(eng)
 		fmt.Printf("%s: %d/%d rounds passed, contract %v\n",
-			name, passed, terms.Rounds, eng.Contract.State())
-		if eng.Contract.State() == contract.StateAborted {
+			name, res.Passed, terms.Rounds, res.State)
+	}
+	sum := summerSet.Summary()
+	fmt.Printf("album-summer (all %d holders): %d expired, %d aborted, %d rounds passed, %d failed\n",
+		sum.Engagements, sum.Expired, sum.Aborted, sum.RoundsPassed, sum.RoundsFailed)
+	for _, e := range summerSet.Engagements {
+		if e.Contract.State() == contract.StateAborted {
 			fmt.Printf("  -> provider %s slashed; owner compensated from its deposit\n",
-				eng.Provider.Name)
+				e.Provider.Name)
 		}
 	}
 
 	// Retrieval: all three albums come back intact -- spring despite two
-	// crashed holders (erasure budget), summer despite the cheater (the
-	// storage-plane shares are still elsewhere on the ring).
+	// crashed holders (erasure budget), summer despite the cheater (its
+	// nine honest holders keep passing their own contracts).
 	fmt.Println()
 	for name, sf := range stored {
 		got, err := owner.Retrieve(sf)

@@ -2,12 +2,14 @@
 //
 // One data owner outsources a file to a decentralized storage network with
 // 3-of-10 erasure coding, engages the primary share holder in an on-chain
-// audit contract, and runs three privacy-assured audit rounds. Run with:
+// audit contract, and lets the Scheduler drive three privacy-assured audit
+// rounds off the block clock. Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -18,6 +20,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A network of 12 storage providers, each funded to post deposits.
 	net, err := dsnaudit.NewNetwork()
@@ -64,16 +67,22 @@ func main() {
 	fmt.Printf("contract %s deployed; one-time on-chain key size: %d bytes\n",
 		eng.Contract.Addr, eng.Contract.StoredKeyBytes())
 
-	// Run the periodic audits.
-	for round := 1; round <= 3; round++ {
-		ok, err := eng.RunRound()
-		if err != nil {
-			log.Fatal(err)
-		}
-		rec := eng.Contract.Records()[round-1]
-		fmt.Printf("round %d: passed=%v proof=%dB gas=%d\n", round, ok, rec.ProofSize, rec.GasUsed)
+	// Run the periodic audits off the block clock: the Scheduler mines,
+	// wakes the engagement at each trigger height, and settles per block.
+	sched := dsnaudit.NewScheduler(net)
+	if err := sched.Add(eng); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("final contract state: %v\n", eng.Contract.State())
+	if err := sched.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range eng.Contract.Records() {
+		fmt.Printf("round %d: passed=%v proof=%dB gas=%d\n",
+			rec.Round+1, rec.Passed, rec.ProofSize, rec.GasUsed)
+	}
+	res, _ := sched.Result(eng)
+	fmt.Printf("final contract state: %v (%d/%d rounds passed)\n",
+		eng.Contract.State(), res.Passed, res.Rounds)
 	fmt.Printf("provider earned: %v wei in micro-payments\n",
 		new(big.Int).Sub(net.Chain.Balance(sf.Holders[0].Address()), funds))
 

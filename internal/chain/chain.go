@@ -118,16 +118,21 @@ type Block struct {
 	ByteSize int
 }
 
-// Chain is the simulated ledger. All methods are safe for concurrent use.
+// Chain is the simulated ledger and the single mining authority of the
+// simulation: every block is sealed through MineBlock, and block events fan
+// out to subscribers registered with Subscribe. All methods are safe for
+// concurrent use.
 type Chain struct {
-	mu       sync.Mutex
-	cfg      Config
-	balances map[Address]*big.Int
-	locked   map[Address]*big.Int
-	blocks   []*Block
-	pending  []*Tx
-	events   []Event
-	txCount  int
+	mu        sync.Mutex
+	cfg       Config
+	balances  map[Address]*big.Int
+	locked    map[Address]*big.Int
+	blocks    []*Block
+	pending   []*Tx
+	events    []Event
+	txCount   int
+	subs      map[uint64]*Subscription
+	nextSubID uint64
 }
 
 // Errors surfaced by ledger operations.
@@ -299,6 +304,9 @@ func (c *Chain) MineBlock() *Block {
 	}
 	c.pending = kept
 	c.blocks = append(c.blocks, blk)
+	for _, s := range c.subs {
+		s.publish(blk)
+	}
 	return blk
 }
 

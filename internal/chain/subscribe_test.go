@@ -1,0 +1,126 @@
+package chain
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubscribeDeliversInOrder verifies lossless, ordered delivery.
+func TestSubscribeDeliversInOrder(t *testing.T) {
+	c := New(DefaultConfig())
+	sub := c.Subscribe()
+	defer sub.Unsubscribe()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.MineBlock()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case b := <-sub.Blocks():
+			if b.Number != uint64(i+1) {
+				t.Fatalf("block %d delivered as #%d", i+1, b.Number)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for block %d", i+1)
+		}
+	}
+}
+
+// TestSubscribeStartsAtSubscription proves blocks mined before Subscribe are
+// not replayed.
+func TestSubscribeStartsAtSubscription(t *testing.T) {
+	c := New(DefaultConfig())
+	c.MineBlock()
+	c.MineBlock()
+	sub := c.Subscribe()
+	defer sub.Unsubscribe()
+	c.MineBlock()
+	select {
+	case b := <-sub.Blocks():
+		if b.Number != 3 {
+			t.Fatalf("first delivered block #%d, want 3", b.Number)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+// TestUnsubscribeClosesChannel verifies Unsubscribe closes Blocks() and is
+// idempotent, even with a full queue.
+func TestUnsubscribeClosesChannel(t *testing.T) {
+	c := New(DefaultConfig())
+	sub := c.Subscribe()
+	c.MineBlock()
+	c.MineBlock()
+	sub.Unsubscribe()
+	sub.Unsubscribe()
+	// Mining after unsubscribe must not panic or deliver.
+	c.MineBlock()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Blocks():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("channel never closed")
+		}
+	}
+}
+
+// TestConcurrentSubscribers runs several subscribers against a concurrent
+// miner under -race: everyone sees every block mined after they joined.
+func TestConcurrentSubscribers(t *testing.T) {
+	c := New(DefaultConfig())
+	const subscribers = 4
+	const blocks = 200
+
+	subs := make([]*Subscription, subscribers)
+	for i := range subs {
+		subs[i] = c.Subscribe()
+	}
+
+	var wg sync.WaitGroup
+	counts := make([]int, subscribers)
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var last uint64
+			for b := range subs[i].Blocks() {
+				if b.Number <= last {
+					t.Errorf("subscriber %d: block %d after %d", i, b.Number, last)
+					return
+				}
+				last = b.Number
+				counts[i]++
+				if counts[i] == blocks {
+					return
+				}
+			}
+		}(i)
+	}
+	go func() {
+		for i := 0; i < blocks; i++ {
+			c.MineBlock()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out")
+	}
+	for i, n := range counts {
+		if n != blocks {
+			t.Fatalf("subscriber %d saw %d blocks, want %d", i, n, blocks)
+		}
+	}
+	for _, s := range subs {
+		s.Unsubscribe()
+	}
+}

@@ -37,6 +37,9 @@ const (
 	StateAborted              // a party defaulted; deposits slashed
 )
 
+// Terminal reports whether the state is final (EXPIRED or ABORTED).
+func (s State) Terminal() bool { return s == StateExpired || s == StateAborted }
+
 // String renders the state name.
 func (s State) String() string {
 	switch s {
@@ -110,9 +113,10 @@ type Contract struct {
 
 // Errors surfaced by contract calls.
 var (
-	ErrWrongState = errors.New("contract: call not valid in current state")
-	ErrNotTrigger = errors.New("contract: trigger height not reached")
-	ErrWrongParty = errors.New("contract: caller is not the expected party")
+	ErrWrongState       = errors.New("contract: call not valid in current state")
+	ErrNotTrigger       = errors.New("contract: trigger height not reached")
+	ErrWrongParty       = errors.New("contract: caller is not the expected party")
+	ErrInvalidAgreement = errors.New("contract: invalid agreement")
 )
 
 // Deploy creates the contract in state INIT. verifyGas is the modeled
@@ -120,10 +124,10 @@ var (
 // extrapolation; ~589k for the 288-byte private proof).
 func Deploy(c *chain.Chain, addr chain.Address, terms Agreement, rand RandomnessSource, verifyGas uint64) (*Contract, error) {
 	if terms.Rounds < 1 || terms.ChallengeSize < 1 || terms.NumChunks < 1 {
-		return nil, fmt.Errorf("contract: invalid agreement %+v", terms)
+		return nil, fmt.Errorf("%w: %+v", ErrInvalidAgreement, terms)
 	}
 	if terms.PublicKey == nil {
-		return nil, errors.New("contract: agreement missing public key")
+		return nil, fmt.Errorf("%w: missing public key", ErrInvalidAgreement)
 	}
 	return &Contract{
 		Addr:        addr,

@@ -91,6 +91,22 @@ func (ef *EncodedFile) StorageOverheadRatio() float64 {
 	return authBytes / dataBytes
 }
 
+// Clone returns an independent deep copy of the encoded file. Each storage
+// provider retains its own replica of the audit state, so corruption at one
+// provider (Corrupt) must never bleed into the owner's copy or another
+// provider's.
+func (ef *EncodedFile) Clone() *EncodedFile {
+	out := &EncodedFile{S: ef.S, Length: ef.Length, Chunks: make([]*poly.Poly, len(ef.Chunks))}
+	for i, chunk := range ef.Chunks {
+		coeffs := make(ff.Vector, len(chunk.Coeffs))
+		for j, c := range chunk.Coeffs {
+			coeffs[j] = new(big.Int).Set(c)
+		}
+		out.Chunks[i] = poly.FromVector(coeffs)
+	}
+	return out
+}
+
 // Corrupt flips the lowest byte of the given block (chunk index i, block
 // index j within the chunk) and returns the previous coefficient so tests
 // and experiments can restore it. It models silent data corruption or loss

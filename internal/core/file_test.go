@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestEncodedFileClone verifies Clone is a deep copy: corrupting the clone
+// leaves the original untouched and vice versa.
+func TestEncodedFileClone(t *testing.T) {
+	data := bytes.Repeat([]byte("the owner's pristine archive data, several chunks long. "), 5)
+	ef, err := EncodeFile(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := ef.Clone()
+	if cp.S != ef.S || cp.Length != ef.Length || cp.NumChunks() != ef.NumChunks() {
+		t.Fatalf("clone shape mismatch: %d/%d/%d vs %d/%d/%d",
+			cp.S, cp.Length, cp.NumChunks(), ef.S, ef.Length, ef.NumChunks())
+	}
+	if !bytes.Equal(cp.Decode(), data) {
+		t.Fatal("clone does not round-trip")
+	}
+
+	cp.Corrupt(0, 0)
+	if !bytes.Equal(ef.Decode(), data) {
+		t.Fatal("corrupting the clone mutated the original")
+	}
+	if bytes.Equal(cp.Decode(), data) {
+		t.Fatal("corruption did not take on the clone")
+	}
+
+	ef.Corrupt(1, 1)
+	if ff.Equal(cp.Chunks[1].Coeffs[1], ef.Chunks[1].Coeffs[1]) {
+		t.Fatal("corrupting the original mutated the clone")
+	}
+}
+
+// TestCloneAuthenticators verifies the authenticator deep copy: mutating a
+// clone's group element leaves the original intact.
+func TestCloneAuthenticators(t *testing.T) {
+	data := bytes.Repeat([]byte("authenticated archive bytes "), 10)
+	ef, err := EncodeFile(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := KeyGen(2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths, err := Setup(sk, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CloneAuthenticators(auths)
+	if len(cp) != len(auths) {
+		t.Fatalf("clone has %d auths, want %d", len(cp), len(auths))
+	}
+	before := auths[0].Sigma.Marshal()
+	cp[0].Sigma.Add(cp[0].Sigma, cp[0].Sigma) // mutate the clone
+	if !bytes.Equal(before, auths[0].Sigma.Marshal()) {
+		t.Fatal("mutating the clone changed the original authenticator")
+	}
+	if bytes.Equal(cp[0].Sigma.Marshal(), auths[0].Sigma.Marshal()) {
+		t.Fatal("mutation did not take on the clone")
+	}
+}

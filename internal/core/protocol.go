@@ -20,6 +20,17 @@ type Authenticator struct {
 	Sigma *bn256.G1
 }
 
+// CloneAuthenticators deep-copies a set of authenticators, so a provider
+// can retain its own replica independent of the owner's (and of other
+// providers auditing the same file).
+func CloneAuthenticators(auths []*Authenticator) []*Authenticator {
+	out := make([]*Authenticator, len(auths))
+	for i, a := range auths {
+		out[i] = &Authenticator{Index: a.Index, Sigma: new(bn256.G1).Set(a.Sigma)}
+	}
+	return out
+}
+
 // Setup computes the authenticators for every chunk of the encoded file.
 // This is the data owner's one-time preprocessing (the Fig. 7 workload).
 func Setup(sk *PrivateKey, ef *EncodedFile) ([]*Authenticator, error) {
