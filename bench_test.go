@@ -427,9 +427,12 @@ func buildEngagements(b *testing.B, n, rounds, s, k int) (*dsnaudit.Network, []*
 // BenchmarkMultiEngagement measures end-to-end audit throughput for N
 // engagements x M rounds on one chain: the sequential RunAll driver against
 // the concurrent Scheduler (the paper's many-owners deployment, Fig. 10
-// right). Rounds/sec is the headline metric.
+// right), and the Scheduler's two settlement strategies against each other
+// — per-proof verification (one final exponentiation per proof) versus the
+// default batched settlement (one shared final exponentiation per block,
+// Section VII-D). Rounds/sec is the headline metric.
 func BenchmarkMultiEngagement(b *testing.B) {
-	const engagements, rounds, s, k = 4, 2, 8, 10
+	const engagements, rounds, s, k = 8, 2, 8, 10
 	ctx := context.Background()
 
 	b.Run("sequential", func(b *testing.B) {
@@ -451,11 +454,11 @@ func BenchmarkMultiEngagement(b *testing.B) {
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
 		}
 	})
-	b.Run("scheduler", func(b *testing.B) {
+	runScheduler := func(b *testing.B, opts ...dsnaudit.SchedulerOption) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			net, engs := buildEngagements(b, engagements, rounds, s, k)
-			sched := dsnaudit.NewScheduler(net)
+			sched := dsnaudit.NewScheduler(net, opts...)
 			for _, e := range engs {
 				if err := sched.Add(e); err != nil {
 					b.Fatal(err)
@@ -473,7 +476,23 @@ func BenchmarkMultiEngagement(b *testing.B) {
 				b.Fatalf("passed %d rounds, want %d", total, engagements*rounds)
 			}
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "rounds/s")
+			var settleGas uint64
+			for _, e := range engs {
+				for _, rec := range e.Contract.Records() {
+					settleGas += rec.SettleGas
+				}
+			}
+			b.ReportMetric(float64(settleGas)/float64(total), "settle-gas/round")
 		}
+	}
+	b.Run("scheduler/per-proof", func(b *testing.B) {
+		runScheduler(b, dsnaudit.WithPerProofVerification())
+	})
+	b.Run("scheduler/batched", func(b *testing.B) {
+		var stats core.BatchStats
+		runScheduler(b, dsnaudit.WithVerifier(&dsnaudit.BatchVerifier{Stats: &stats}))
+		b.ReportMetric(float64(stats.FinalExps)/float64(b.N), "final-exps")
+		b.ReportMetric(float64(stats.MillerLoops)/float64(b.N), "miller-loops")
 	})
 }
 

@@ -9,13 +9,17 @@ import (
 	"time"
 
 	"repro/dsnaudit"
+	"repro/internal/core"
 )
 
 // runScheduler measures the many-to-many deployment of Section III-B: N
 // independent audit contracts on one chain, driven first sequentially
 // (Engagement.RunAll, one at a time) and then concurrently by the Scheduler
-// (proof generation fanned out to a worker pool). The interesting number is
-// the wall-clock speedup at equal on-chain work.
+// (proof generation fanned out to a worker pool) under both settlement
+// strategies — per-proof verification and the default batched settlement
+// that shares one final exponentiation per block (Section VII-D). The
+// interesting numbers are the wall-clock speedup at equal on-chain work and
+// the settlement gas the batching shaves off every round.
 func runScheduler(ctx *expCtx) error {
 	owners := 6
 	rounds := 3
@@ -76,36 +80,64 @@ func runScheduler(ctx *expCtx) error {
 	seqTime := time.Since(seqStart)
 
 	// Scheduler: same workload, one block clock, pooled proof generation.
-	schedNet, schedEngs, err := build()
+	// Driven twice: per-proof settlement and batched settlement.
+	runSched := func(opts ...dsnaudit.SchedulerOption) (time.Duration, int, uint64, error) {
+		net, engs, err := build()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sched := dsnaudit.NewScheduler(net, opts...)
+		for _, e := range engs {
+			if err := sched.Add(e); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		start := time.Now()
+		if err := sched.Run(bg); err != nil {
+			return 0, 0, 0, err
+		}
+		elapsed := time.Since(start)
+		passed := 0
+		for _, res := range sched.Results() {
+			passed += res.Passed
+		}
+		var settleGas uint64
+		rounds := 0
+		for _, e := range engs {
+			for _, rec := range e.Contract.Records() {
+				settleGas += rec.SettleGas
+				rounds++
+			}
+		}
+		if rounds > 0 {
+			settleGas /= uint64(rounds)
+		}
+		return elapsed, passed, settleGas, nil
+	}
+
+	ppTime, ppPassed, ppGas, err := runSched(dsnaudit.WithPerProofVerification())
 	if err != nil {
 		return err
 	}
-	sched := dsnaudit.NewScheduler(schedNet)
-	for _, e := range schedEngs {
-		if err := sched.Add(e); err != nil {
-			return err
-		}
-	}
-	schedStart := time.Now()
-	if err := sched.Run(bg); err != nil {
+	var stats core.BatchStats
+	bTime, bPassed, bGas, err := runSched(dsnaudit.WithVerifier(&dsnaudit.BatchVerifier{Stats: &stats}))
+	if err != nil {
 		return err
-	}
-	schedTime := time.Since(schedStart)
-	schedPassed := 0
-	for _, res := range sched.Results() {
-		schedPassed += res.Passed
 	}
 
 	ctx.printf("%d engagements x %d rounds (s=%d, k=%d) on one chain, %d-core worker pool:\n",
 		owners, rounds, s, k, runtime.NumCPU())
-	ctx.printf("%-28s %-12s %-10s\n", "driver", "wall clock", "passed")
-	ctx.printf("%-28s %-12s %-10d\n", "sequential RunAll", fmtDur(seqTime), seqPassed)
-	ctx.printf("%-28s %-12s %-10d\n", "concurrent Scheduler", fmtDur(schedTime), schedPassed)
-	ctx.printf("speedup: %.2fx (proof generation is the parallel fraction; "+
-		"on-chain verification stays serial, so gains need >1 core)\n",
-		float64(seqTime)/float64(schedTime))
-	if seqPassed != schedPassed {
-		return fmt.Errorf("drivers disagree: sequential %d, scheduler %d", seqPassed, schedPassed)
+	ctx.printf("%-34s %-12s %-8s %-16s\n", "driver", "wall clock", "passed", "settle gas/round")
+	ctx.printf("%-34s %-12s %-8d %-16s\n", "sequential RunAll", fmtDur(seqTime), seqPassed, "-")
+	ctx.printf("%-34s %-12s %-8d %-16d\n", "Scheduler (per-proof settlement)", fmtDur(ppTime), ppPassed, ppGas)
+	ctx.printf("%-34s %-12s %-8d %-16d\n", "Scheduler (batched settlement)", fmtDur(bTime), bPassed, bGas)
+	ctx.printf("scheduler speedup over sequential: %.2fx (proof generation is the parallel fraction)\n",
+		float64(seqTime)/float64(bTime))
+	ctx.printf("batched settlement: %d final exps / %d Miller loops for %d settled proofs "+
+		"(per-proof needs one final exp each)\n", stats.FinalExps, stats.MillerLoops, bPassed)
+	if seqPassed != ppPassed || seqPassed != bPassed {
+		return fmt.Errorf("drivers disagree: sequential %d, per-proof %d, batched %d",
+			seqPassed, ppPassed, bPassed)
 	}
 	return nil
 }

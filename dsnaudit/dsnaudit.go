@@ -14,8 +14,10 @@
 //     (contract execution, deposits, gas), the randomness beacon, and the
 //     Chord DHT used to locate providers.
 //
-// The flow mirrors Fig. 2: Engage (negotiate/ack/freeze) then repeated
-// audit rounds (challenge/prove/verify/pay). Two drivers are provided:
+// The flow mirrors Fig. 2 with a two-phase submit/settle round: Engage
+// (negotiate/ack/freeze) then repeated audit rounds where the proof is
+// first submitted cheaply (calldata only) and the verdict — payment or
+// slashing — settles at block inclusion. Two drivers are provided:
 //
 //   - Engagement.RunRound / RunAll: the sequential driver, one engagement
 //     at a time, mining the shared chain itself. Good for demos and
@@ -24,9 +26,13 @@
 //     shape (Section III-B: many owners x many providers on one chain).
 //     It subscribes to block events, wakes every registered engagement at
 //     its trigger height, fans the CPU-heavy proof generation out to a
-//     worker pool, and settles results per block. Owner.EngageAll deploys
-//     one contract per share holder so a k-of-(k+m) erasure-coded file is
-//     audited on every holder at once.
+//     worker pool, and settles each block's proofs through a pluggable
+//     Verifier — by default one batched pairing check sharing a single
+//     final exponentiation across the whole block (Section VII-D), with
+//     bisection isolating cheaters. Owner.EngageAll deploys one contract
+//     per share holder so a k-of-(k+m) erasure-coded file is audited on
+//     every holder at once. Accounting is keyed by Engagement.ID (the
+//     contract address).
 //
 // All audit-path entry points take a context.Context for cancellation and
 // deadlines, failures surface as the sentinel errors in errors.go, and the

@@ -45,6 +45,10 @@ type Engagement struct {
 	network *Network
 }
 
+// ID returns the engagement's stable identity: its contract address. It
+// survives process boundaries and keys the Scheduler's accounting.
+func (e *Engagement) ID() chain.Address { return e.Contract.Addr }
+
 // Engage walks the full Initialize phase of Fig. 2 against one provider:
 // deploy, post parameters (Fig. 4's one-time cost), provider-side
 // authenticator validation, acknowledgment, and deposit freezing.
@@ -186,6 +190,20 @@ func (e *Engagement) RunRound(ctx context.Context) (bool, error) {
 	if e.Contract.State().Terminal() {
 		return false, fmt.Errorf("%w: %s (%s)", ErrContractClosed, e.Contract.Addr, e.Contract.State())
 	}
+	if e.Contract.State() == contract.StateSettle {
+		// A proof is already pending (e.g. a scheduler canceled mid-block):
+		// the open round completes by settling it. Mine first so the
+		// verdict fires at block inclusion, like the normal path below,
+		// then mine again so the settlement transaction itself lands.
+		e.network.Chain.MineBlock()
+		passed, err := e.Contract.Settle()
+		if err != nil {
+			return false, err
+		}
+		e.network.Chain.MineBlock()
+		e.recordOutcome(passed)
+		return passed, nil
+	}
 	for e.network.Chain.Height() < e.Contract.TriggerHeight() {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -212,7 +230,13 @@ func (e *Engagement) RunRound(ctx context.Context) (bool, error) {
 		}
 		return false, e.missDeadline()
 	}
-	passed, err := e.Contract.SubmitProof(e.Provider.Address(), proofBytes)
+	if err := e.Contract.SubmitProof(e.Provider.Address(), proofBytes); err != nil {
+		return false, err
+	}
+	// Block inclusion is the settlement point of the two-phase protocol:
+	// mine the proof transaction in, then settle the verdict.
+	e.network.Chain.MineBlock()
+	passed, err := e.Contract.Settle()
 	if err != nil {
 		return false, err
 	}
@@ -222,10 +246,11 @@ func (e *Engagement) RunRound(ctx context.Context) (bool, error) {
 }
 
 // RunAll runs every remaining round, stopping early on failure. It returns
-// the number of passed rounds.
+// the number of passed rounds. An engagement left with a proof pending
+// settlement (a scheduler canceled mid-block) settles that round first.
 func (e *Engagement) RunAll(ctx context.Context) (int, error) {
 	passed := 0
-	for e.Contract.State() == contract.StateAudit {
+	for e.Contract.State() == contract.StateAudit || e.Contract.State() == contract.StateSettle {
 		ok, err := e.RunRound(ctx)
 		if err != nil {
 			return passed, err

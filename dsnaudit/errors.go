@@ -39,6 +39,11 @@ var (
 	ErrSchedulerRunning = errors.New("dsnaudit: scheduler already running")
 
 	// ErrAlreadyScheduled is returned by Scheduler.Add for an engagement
-	// that is already registered.
+	// whose ID is already registered.
 	ErrAlreadyScheduled = errors.New("dsnaudit: engagement already scheduled")
+
+	// ErrVerifierMismatch is returned by Scheduler.Run when a custom
+	// Verifier breaks the SettleBlock contract by returning a different
+	// number of results than contracts handed to it.
+	ErrVerifierMismatch = errors.New("dsnaudit: verifier returned mismatched settlement results")
 )

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/core"
 )
@@ -14,20 +15,27 @@ import (
 // It is the block clock of the simulation: each scheduler tick mines one
 // block, the chain's subscription API delivers the block event, and every
 // registered engagement whose trigger height is reached is woken. The
-// CPU-heavy proof generation (the pairing step) fans out to a worker pool;
-// settlement (on-chain verification, payment, reputation) happens on the
-// scheduler goroutine, per block, so contract state stays single-writer.
+// CPU-heavy proof generation (the pairing step) fans out to a worker pool.
+//
+// Settlement follows the two-phase submit/settle protocol: each proof that
+// lands in a tick is recorded cheaply on its contract (SubmitProof, no
+// pairing work), and once the whole block has landed the Verifier settles
+// it in one go — by default a single batched verification sharing one
+// final exponentiation across every proof in the block. Settlement stays
+// on the scheduler goroutine, per block, so contract state is
+// single-writer.
 //
 // The sequential Engagement.RunRound driver mines the chain itself and
 // therefore must not run concurrently with a Scheduler on the same chain.
 type Scheduler struct {
-	net     *Network
-	workers int
+	net      *Network
+	workers  int
+	verifier Verifier
 
 	mu      sync.Mutex
 	running bool
 	entries []*schedEntry
-	byEng   map[*Engagement]*schedEntry
+	byID    map[chain.Address]*schedEntry
 }
 
 // Result is the per-engagement outcome accounting kept by the scheduler.
@@ -78,12 +86,15 @@ func WithWorkers(n int) SchedulerOption {
 	}
 }
 
-// NewScheduler creates a scheduler over the network's chain.
+// NewScheduler creates a scheduler over the network's chain. Settlement
+// defaults to batched verification (one shared final exponentiation per
+// block); see WithVerifier and WithPerProofVerification.
 func NewScheduler(n *Network, opts ...SchedulerOption) *Scheduler {
 	s := &Scheduler{
-		net:     n,
-		workers: runtime.NumCPU(),
-		byEng:   make(map[*Engagement]*schedEntry),
+		net:      n,
+		workers:  runtime.NumCPU(),
+		verifier: &BatchVerifier{},
+		byID:     make(map[chain.Address]*schedEntry),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -93,19 +104,19 @@ func NewScheduler(n *Network, opts ...SchedulerOption) *Scheduler {
 
 // Add registers an engagement. Engagements may be added before Run or while
 // it is executing; a contract already in a terminal state is rejected with
-// ErrContractClosed, a duplicate with ErrAlreadyScheduled.
+// ErrContractClosed, a duplicate ID with ErrAlreadyScheduled.
 func (s *Scheduler) Add(e *Engagement) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.byEng[e]; ok {
-		return fmt.Errorf("%w: %s", ErrAlreadyScheduled, e.Contract.Addr)
+	if _, ok := s.byID[e.ID()]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyScheduled, e.ID())
 	}
 	if e.Contract.State().Terminal() {
-		return fmt.Errorf("%w: %s (%s)", ErrContractClosed, e.Contract.Addr, e.Contract.State())
+		return fmt.Errorf("%w: %s (%s)", ErrContractClosed, e.ID(), e.Contract.State())
 	}
 	entry := &schedEntry{eng: e, result: Result{State: e.Contract.State()}}
 	s.entries = append(s.entries, entry)
-	s.byEng[e] = entry
+	s.byID[e.ID()] = entry
 	return nil
 }
 
@@ -119,24 +130,26 @@ func (s *Scheduler) AddSet(set *EngagementSet) error {
 	return nil
 }
 
-// Result returns the scheduler's accounting for one engagement.
-func (s *Scheduler) Result(e *Engagement) (Result, bool) {
+// Result returns the scheduler's accounting for one engagement, keyed by
+// its stable ID (the contract address, Engagement.ID).
+func (s *Scheduler) Result(id chain.Address) (Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entry, ok := s.byEng[e]
+	entry, ok := s.byID[id]
 	if !ok {
 		return Result{}, false
 	}
 	return entry.result, true
 }
 
-// Results returns a snapshot of every registered engagement's accounting.
-func (s *Scheduler) Results() map[*Engagement]Result {
+// Results returns a snapshot of every registered engagement's accounting,
+// keyed by engagement ID.
+func (s *Scheduler) Results() map[chain.Address]Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[*Engagement]Result, len(s.byEng))
-	for e, entry := range s.byEng {
-		out[e] = entry.result
+	out := make(map[chain.Address]Result, len(s.byID))
+	for id, entry := range s.byID {
+		out[id] = entry.result
 	}
 	return out
 }
@@ -155,8 +168,9 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		// Entries interrupted mid-proof keep an open challenge on the
-		// contract; re-arm them so a later Run resumes from PROVE.
+		// Entries interrupted mid-proof keep an open challenge (PROVE) or
+		// a pending proof (SETTLE) on the contract; re-arm them so a later
+		// Run resumes from where they stopped.
 		for _, entry := range s.entries {
 			if entry.phase == phaseProving {
 				entry.phase = phaseWaiting
@@ -223,11 +237,17 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			return ctx.Err()
 		}
 
-		due := s.wake(height)
+		due, block := s.wake(height)
+		// Entries adopted in SETTLE already have their proof transaction
+		// sealed in an earlier block; only newly submitted proofs below
+		// need a block of their own before settlement.
+		adopted := len(block)
 
-		// Fan the due proofs out to the pool and settle each as it lands.
-		// Settlement stays on this goroutine: contract state is
-		// single-writer by construction.
+		// Fan the due proofs out to the pool. Each proof that lands is
+		// recorded cheaply on its contract (phase 1, no pairing work);
+		// the block settles as one batch once everything has landed.
+		// Submission and settlement stay on this goroutine: contract
+		// state is single-writer by construction.
 		inflight := 0
 		aborted := false
 		ctxDone := ctx.Done()
@@ -244,8 +264,8 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				inflight++
 			case r := <-results:
 				inflight--
-				if !aborted {
-					s.settle(ctx, r)
+				if !aborted && s.submit(ctx, r) {
+					block = append(block, r.entry)
 				}
 			case <-ctxDone:
 				// Stop dispatching; keep draining so no worker blocks.
@@ -256,21 +276,38 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			}
 		}
 		if aborted {
+			// Contracts already in SETTLE resume at the next Run's first
+			// tick (wake hands them straight back to the verifier).
 			return ctx.Err()
+		}
+		if len(block) > adopted {
+			// Block inclusion is the settlement point: seal the submitted
+			// proof transactions into a block before the verdicts land.
+			// The extra block event is consumed here so the next tick's
+			// read stays in step with the chain head.
+			s.net.Chain.MineBlock()
+			select {
+			case <-sub.Blocks():
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := s.settleBlock(block); err != nil {
+			return err
 		}
 	}
 }
 
 // wake scans the registered engagements at block height h: engagements in
 // AUDIT whose trigger height is reached get a challenge issued and a proof
-// job prepared; engagements waiting out a proof deadline past their trigger
-// are settled as missed.
-func (s *Scheduler) wake(h uint64) []proofJob {
+// job prepared; engagements adopted with a proof already pending (SETTLE)
+// are queued for this tick's batched settlement; engagements waiting out a
+// proof deadline past their trigger are settled as missed.
+func (s *Scheduler) wake(h uint64) (due []proofJob, block []*schedEntry) {
 	s.mu.Lock()
 	entries := append([]*schedEntry(nil), s.entries...)
 	s.mu.Unlock()
 
-	var due []proofJob
 	for _, entry := range entries {
 		e := entry.eng
 		switch entry.phase {
@@ -297,6 +334,11 @@ func (s *Scheduler) wake(h uint64) []proofJob {
 				// the open challenge.
 				entry.phase = phaseProving
 				due = append(due, proofJob{entry: entry, ch: e.Contract.CurrentChallenge()})
+			case contract.StateSettle:
+				// Adopted with a proof pending (a previous Run was canceled
+				// between submission and settlement): settle it this tick.
+				entry.phase = phaseProving
+				block = append(block, entry)
 			default:
 				s.finish(entry, nil)
 			}
@@ -312,41 +354,80 @@ func (s *Scheduler) wake(h uint64) []proofJob {
 			s.finish(entry, nil) // a missed deadline aborts the contract
 		}
 	}
-	return due
+	return due, block
 }
 
-// settle lands one proof result on chain: verification, payment and
-// reputation. A responder error parks the engagement until the proof
-// deadline passes — unless the scheduler's own context is canceled, in
-// which case the error is the cancellation, not the responder's fault, and
-// the entry stays in phaseProving so Run's exit path re-arms it for resume
-// (a deadline park here would slash an honest provider on the next Run).
-func (s *Scheduler) settle(ctx context.Context, r proofResult) {
+// submit lands one proof result as a pending transaction on its contract
+// (phase 1: calldata only, no pairing work) and reports whether the entry
+// joined the block awaiting settlement. A responder error parks the
+// engagement until the proof deadline passes — unless the scheduler's own
+// context is canceled, in which case the error is the cancellation, not the
+// responder's fault, and the entry stays in phaseProving so Run's exit path
+// re-arms it for resume (a deadline park here would slash an honest
+// provider on the next Run).
+func (s *Scheduler) submit(ctx context.Context, r proofResult) bool {
 	entry, e := r.entry, r.entry.eng
 	if r.err != nil {
 		if ctx.Err() != nil {
-			return
+			return false
 		}
 		s.mu.Lock()
 		entry.phase = phaseDeadline
 		s.mu.Unlock()
-		return
+		return false
 	}
-	passed, err := e.Contract.SubmitProof(e.Provider.Address(), r.proof)
-	if err != nil {
+	if err := e.Contract.SubmitProof(e.Provider.Address(), r.proof); err != nil {
 		s.finish(entry, err)
-		return
+		return false
 	}
-	e.recordOutcome(passed)
-	s.recordRound(entry, passed)
-	if e.Contract.State().Terminal() {
-		s.finish(entry, nil)
-		return
+	return true
+}
+
+// settleBlock runs phase 2 over every proof that landed this tick: the
+// Verifier produces the block's verdicts (by default one batched
+// verification with a single shared final exponentiation), and each verdict
+// lands payment, reputation and accounting.
+func (s *Scheduler) settleBlock(block []*schedEntry) error {
+	if len(block) == 0 {
+		return nil
 	}
-	s.mu.Lock()
-	entry.phase = phaseWaiting
-	entry.result.State = e.Contract.State()
-	s.mu.Unlock()
+	cs := make([]*contract.Contract, len(block))
+	for i, entry := range block {
+		cs[i] = entry.eng.Contract
+	}
+	results, err := s.verifier.SettleBlock(cs)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(block) {
+		return fmt.Errorf("%w: %d results for %d contracts", ErrVerifierMismatch, len(results), len(block))
+	}
+	// Results must come back in input order: a verifier that settles
+	// concurrently and returns them out of order would otherwise have one
+	// engagement's verdict silently recorded against another.
+	for i, res := range results {
+		if res.Addr != cs[i].Addr {
+			return fmt.Errorf("%w: result %d is for %s, want %s", ErrVerifierMismatch, i, res.Addr, cs[i].Addr)
+		}
+	}
+	for i, res := range results {
+		entry, e := block[i], block[i].eng
+		if res.Err != nil {
+			s.finish(entry, res.Err)
+			continue
+		}
+		e.recordOutcome(res.Passed)
+		s.recordRound(entry, res.Passed)
+		if e.Contract.State().Terminal() {
+			s.finish(entry, nil)
+			continue
+		}
+		s.mu.Lock()
+		entry.phase = phaseWaiting
+		entry.result.State = e.Contract.State()
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // recordRound updates an entry's pass/fail accounting.

@@ -129,7 +129,7 @@ func TestSchedulerMatchesSequential(t *testing.T) {
 	}
 
 	for _, e := range schedFix.engagements {
-		res, ok := sched.Result(e)
+		res, ok := sched.Result(e.ID())
 		if !ok {
 			t.Fatalf("no scheduler result for %s", key(e))
 		}
@@ -242,7 +242,7 @@ func TestSchedulerCancellation(t *testing.T) {
 	if err := sched.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := sched.Result(eng)
+	res, _ := sched.Result(eng.ID())
 	if res.Passed != 2 || eng.Contract.State() != contract.StateExpired {
 		t.Fatalf("after resume: passed=%d state=%v", res.Passed, eng.Contract.State())
 	}
@@ -326,7 +326,7 @@ func TestSchedulerCancelDoesNotSlashHonestProviders(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i, e := range engs {
-			res, _ := sched.Result(e)
+			res, _ := sched.Result(e.ID())
 			if res.Failed != 0 || res.State != contract.StateExpired {
 				t.Fatalf("iter %d eng %d: honest provider penalized: %+v (state %v)",
 					iter, i, res, e.Contract.State())

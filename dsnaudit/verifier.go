@@ -1,0 +1,62 @@
+package dsnaudit
+
+import (
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+// Verifier is the Scheduler's pluggable settlement strategy: at the end of
+// each tick, every contract whose proof landed in that block is handed over
+// for the phase-2 verdict. Implementations must return exactly one result
+// per contract, in input order.
+type Verifier interface {
+	// SettleBlock settles every contract in cs (all in the SETTLE phase).
+	SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error)
+}
+
+// BatchVerifier is the default strategy: the whole block settles through a
+// single contract.SettleBatch call — one shared final exponentiation across
+// every proof in the block, bisecting on failure so one cheater among N
+// honest providers is individually slashed while the rest settle as passed.
+type BatchVerifier struct {
+	// Stats, when non-nil, accumulates the pairing workload across blocks
+	// (final exponentiations and Miller loops), making the amortization
+	// measurable.
+	Stats *core.BatchStats
+}
+
+// SettleBlock settles the block with one batched verification.
+func (v *BatchVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
+	return contract.SettleBatch(cs, v.Stats), nil
+}
+
+// PerProofVerifier settles each contract with its own inline verification —
+// one final exponentiation per proof. It exists for debugging and parity
+// tests against the batched path; production settlements should batch.
+type PerProofVerifier struct{}
+
+// SettleBlock settles each contract independently.
+func (PerProofVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
+	out := make([]contract.SettleResult, len(cs))
+	for i, k := range cs {
+		passed, err := k.Settle()
+		out[i] = contract.SettleResult{Addr: k.Addr, Passed: passed, Err: err}
+	}
+	return out, nil
+}
+
+// WithVerifier overrides the scheduler's settlement strategy (default: a
+// fresh BatchVerifier).
+func WithVerifier(v Verifier) SchedulerOption {
+	return func(s *Scheduler) {
+		if v != nil {
+			s.verifier = v
+		}
+	}
+}
+
+// WithPerProofVerification switches settlement to one verification per
+// proof, for debugging and batched-vs-per-proof parity tests.
+func WithPerProofVerification() SchedulerOption {
+	return WithVerifier(PerProofVerifier{})
+}

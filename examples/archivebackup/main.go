@@ -115,7 +115,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for name, eng := range engagements {
-		res, _ := sched.Result(eng)
+		res, _ := sched.Result(eng.ID())
 		fmt.Printf("%s: %d/%d rounds passed, contract %v\n",
 			name, res.Passed, terms.Rounds, res.State)
 	}

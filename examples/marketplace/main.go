@@ -93,7 +93,7 @@ func main() {
 
 	var totalGas uint64
 	for i, tn := range tenants {
-		res, _ := sched.Result(tn.eng)
+		res, _ := sched.Result(tn.eng.ID())
 		for _, rec := range tn.eng.Contract.Records() {
 			totalGas += rec.GasUsed
 		}

@@ -213,7 +213,7 @@ func onChainTrail(secret []byte) {
 			}
 		}
 	}
-	res, _ := sched.Result(eng)
+	res, _ := sched.Result(eng.ID())
 	fmt.Printf("    engagement served %d/%d rounds on chain (%d blocks)\n",
 		res.Passed, rounds, net.Chain.Height())
 	fmt.Printf("    adversary's haul: %d challenges (48 B) + %d proofs (288 B), nothing else\n",

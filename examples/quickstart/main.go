@@ -80,7 +80,7 @@ func main() {
 		fmt.Printf("round %d: passed=%v proof=%dB gas=%d\n",
 			rec.Round+1, rec.Passed, rec.ProofSize, rec.GasUsed)
 	}
-	res, _ := sched.Result(eng)
+	res, _ := sched.Result(eng.ID())
 	fmt.Printf("final contract state: %v (%d/%d rounds passed)\n",
 		eng.Contract.State(), res.Passed, res.Rounds)
 	fmt.Printf("provider earned: %v wei in micro-payments\n",

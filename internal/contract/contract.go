@@ -4,14 +4,23 @@
 // verifies posted proofs on chain, settles micro-payments after every
 // round, and resolves disputes by slashing.
 //
-// States follow Fig. 2 exactly:
+// States extend Fig. 2 with a two-phase submit/settle protocol:
 //
 //	⊥ --negotiated--> ACK --acked--> FREEZE --freeze--> AUDIT
-//	AUDIT --challenge--> PROVE --prove+verify--> AUDIT (next round)
+//	AUDIT --challenge--> PROVE --submit--> SETTLE --settle--> AUDIT (next round)
 //
-// plus terminal EXPIRED/ABORTED states. Scheduling ("Ethereum Alarm Clock")
-// is modeled by block-height triggers: the contract arms a trigger height
-// and anyone may poke it once the chain reaches that height.
+// plus terminal EXPIRED/ABORTED states. SubmitProof is the cheap phase:
+// it records the provider's proof as a pending transaction (calldata gas
+// only, no pairing work). Settlement — the audit verdict, payment release
+// and slashing — fires at block inclusion, the way a real chain settles
+// transactions when a block lands rather than at submission: Settle
+// verifies one contract's pending proof, SettleBatch verifies every
+// pending proof of a block with a single shared final exponentiation
+// (core.VerifyBatch), bisecting on failure to isolate cheaters.
+//
+// Scheduling ("Ethereum Alarm Clock") is modeled by block-height triggers:
+// the contract arms a trigger height and anyone may poke it once the chain
+// reaches that height.
 package contract
 
 import (
@@ -33,6 +42,7 @@ const (
 	StateFreeze               // acked; awaiting both deposits
 	StateAudit                // deposits locked; awaiting the next challenge trigger
 	StateProve                // challenged; awaiting the provider's proof
+	StateSettle               // proof posted; awaiting block-inclusion settlement
 	StateExpired              // all rounds done; deposits returned
 	StateAborted              // a party defaulted; deposits slashed
 )
@@ -53,6 +63,8 @@ func (s State) String() string {
 		return "AUDIT"
 	case StateProve:
 		return "PROVE"
+	case StateSettle:
+		return "SETTLE"
 	case StateExpired:
 		return "EXPIRED"
 	case StateAborted:
@@ -84,12 +96,16 @@ type RandomnessSource interface {
 	Randomness(round int) ([]byte, error)
 }
 
-// RoundRecord is the audit trail of one completed round.
+// RoundRecord is the audit trail of one completed round. GasUsed is the
+// round's total on-chain cost (proof submission plus settlement); SettleGas
+// is the settlement share alone, which shrinks under batched settlement as
+// the final exponentiation is amortized across a block.
 type RoundRecord struct {
 	Round     int
 	Challenge *core.Challenge
 	ProofSize int
 	GasUsed   uint64
+	SettleGas uint64
 	Passed    bool
 }
 
@@ -109,6 +125,8 @@ type Contract struct {
 	ownerEscrow   *big.Int
 	providerEsc   *big.Int
 	storedKeySize int
+	pendingProof  []byte // phase-1 proof bytes awaiting settlement
+	pendingGas    uint64 // gas charged for the proof submission tx
 }
 
 // Errors surfaced by contract calls.
@@ -117,6 +135,7 @@ var (
 	ErrNotTrigger       = errors.New("contract: trigger height not reached")
 	ErrWrongParty       = errors.New("contract: caller is not the expected party")
 	ErrInvalidAgreement = errors.New("contract: invalid agreement")
+	ErrMalformedProof   = errors.New("contract: pending proof is malformed")
 )
 
 // Deploy creates the contract in state INIT. verifyGas is the modeled
@@ -271,61 +290,196 @@ func (k *Contract) IssueChallenge() (*core.Challenge, error) {
 	return ch, nil
 }
 
-// CurrentChallenge returns the open challenge while in PROVE.
+// CurrentChallenge returns the open challenge while in PROVE or SETTLE.
 func (k *Contract) CurrentChallenge() *core.Challenge { return k.challenge }
 
-// SubmitProof is the provider posting its 288-byte private proof. The
-// contract immediately runs the scheduled Verify step: on success the round
-// payment moves from the owner's escrow to the provider; on failure the
-// provider's whole collateral is slashed to the owner and the contract
-// aborts (the dispute outcome of Fig. 2).
-func (k *Contract) SubmitProof(from chain.Address, proofBytes []byte) (bool, error) {
+// SubmitProof is phase 1 of the two-phase settlement protocol: the provider
+// posting its 288-byte private proof. The proof is recorded as a pending
+// transaction — calldata gas only, no pairing work — and the contract moves
+// to SETTLE, awaiting the verdict at block inclusion (Settle or
+// SettleBatch).
+func (k *Contract) SubmitProof(from chain.Address, proofBytes []byte) error {
 	if k.state != StateProve {
-		return false, fmt.Errorf("%w: %s", ErrWrongState, k.state)
+		return fmt.Errorf("%w: %s", ErrWrongState, k.state)
 	}
 	if from != k.Terms.Provider {
-		return false, ErrWrongParty
+		return ErrWrongParty
 	}
 	rcpt, err := k.Chain.Submit(&chain.Tx{
-		From:     from,
-		To:       k.Addr,
-		Data:     proofBytes,
-		ExtraGas: k.verifyGas,
-		Note:     fmt.Sprintf("proof round %d", k.round),
+		From: from,
+		To:   k.Addr,
+		Data: proofBytes,
+		Note: fmt.Sprintf("proof round %d", k.round),
 	})
 	if err != nil {
+		return err
+	}
+	k.pendingProof = append([]byte(nil), proofBytes...)
+	k.pendingGas = rcpt.GasUsed
+	k.state = StateSettle
+	k.Chain.Emit("proofposted", nil)
+	return nil
+}
+
+// PendingItem returns the batch-verification inputs of the proof awaiting
+// settlement. A proof that fails to parse returns ErrMalformedProof; the
+// settlement engine fails such a contract without any pairing work.
+func (k *Contract) PendingItem() (*core.BatchItem, error) {
+	if k.state != StateSettle {
+		return nil, fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	proof, err := core.UnmarshalPrivateProof(k.pendingProof)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedProof, err)
+	}
+	return &core.BatchItem{
+		Pub:       k.Terms.PublicKey,
+		NumChunks: k.Terms.NumChunks,
+		Challenge: k.challenge,
+		Proof:     proof,
+	}, nil
+}
+
+// Settle is phase 2 for a single contract: it runs the scheduled Verify
+// step over the pending proof and applies the verdict — on success the
+// round payment moves from the owner's escrow to the provider; on failure
+// the provider's whole collateral is slashed to the owner and the contract
+// aborts (the dispute outcome of Fig. 2). Blocks settling together should
+// use SettleBatch, which shares one final exponentiation across all of
+// them.
+func (k *Contract) Settle() (bool, error) {
+	item, err := k.PendingItem()
+	if err != nil {
+		if errors.Is(err, ErrMalformedProof) {
+			// A parse rejection never reaches the pairing step: the same
+			// no-gas slashing policy SettleBatch applies.
+			return false, k.applyVerdict(false, 0)
+		}
 		return false, err
 	}
-	k.Chain.Emit("proofposted", nil)
+	passed := core.VerifyPrivate(item.Pub, item.NumChunks, item.Challenge, item.Proof)
+	return passed, k.applyVerdict(passed, k.verifyGas)
+}
 
-	proof, err := core.UnmarshalPrivateProof(proofBytes)
-	passed := err == nil &&
-		core.VerifyPrivate(k.Terms.PublicKey, k.Terms.NumChunks, k.challenge, proof)
+// SettleResult reports one contract's outcome from a batched settlement.
+type SettleResult struct {
+	Addr   chain.Address
+	Passed bool
+	Err    error // settlement plumbing error (wrong state, chain fault) — not the verdict
+}
 
+// SettleBatch is phase 2 for a whole block: every pending proof is checked
+// by a single core.VerifyBatch call (two Miller loops per item plus one
+// shared loop, one shared final exponentiation). On batch failure the verification bisects, so one
+// cheater among N honest providers is individually slashed while the rest
+// settle as passed. Contracts whose pending bytes do not parse are failed
+// without pairing work; contracts not in SETTLE get a per-contract
+// ErrWrongState. Results are returned in input order. stats may be nil.
+//
+// Security of the batching: each item's equation binds its own
+// zeta_i = H'(R_i), and the items are additionally weighted by independent
+// verifier-chosen ~128-bit scalars (see core.BatchVerify), so a cheater
+// cannot hide behind honest co-batched proofs — a failed batch always
+// bisects down to the genuine offender.
+func SettleBatch(cs []*Contract, stats *core.BatchStats) []SettleResult {
+	results := make([]SettleResult, len(cs))
+	var items []*core.BatchItem
+	var owners []int // position in cs of each batch item
+	for i, k := range cs {
+		results[i].Addr = k.Addr
+		if k.state != StateSettle {
+			results[i].Err = fmt.Errorf("%w: %s", ErrWrongState, k.state)
+			continue
+		}
+		item, err := k.PendingItem()
+		if err != nil {
+			// Malformed proof: slashed without any pairing work.
+			results[i].Passed = false
+			results[i].Err = k.applyVerdict(false, 0)
+			continue
+		}
+		items = append(items, item)
+		owners = append(owners, i)
+	}
+	verdicts := core.VerifyBatch(items, stats)
+	for j, passed := range verdicts {
+		i := owners[j]
+		k := cs[i]
+		// Honest items pay the amortized batch share; a failed item pays
+		// the full per-proof verification it forced through bisection.
+		gas := k.settleGasShare(len(items))
+		if !passed {
+			gas = k.verifyGas
+		}
+		results[i].Passed = passed
+		results[i].Err = k.applyVerdict(passed, gas)
+	}
+	return results
+}
+
+// finalExpNum/finalExpDen model the final exponentiation's share (~30%) of
+// a full four-pairing verification; batched settlement charges each
+// contract its Miller-loop share plus 1/N of one final exponentiation.
+const (
+	finalExpNum = 3
+	finalExpDen = 10
+)
+
+// settleGasShare returns the modeled execution gas of verifying one proof
+// inside a batch of n.
+func (k *Contract) settleGasShare(n int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	fe := k.verifyGas * finalExpNum / finalExpDen
+	return (k.verifyGas - fe) + fe/uint64(n)
+}
+
+// applyVerdict lands the settlement on chain: it records the round, charges
+// the settlement gas, releases the round payment or slashes the collateral,
+// and arms the next trigger (or terminates the contract).
+func (k *Contract) applyVerdict(passed bool, settleGas uint64) error {
+	rcpt, err := k.Chain.Submit(&chain.Tx{
+		From:     k.Addr,
+		To:       k.Addr,
+		ExtraGas: settleGas,
+		Note:     fmt.Sprintf("settle round %d", k.round),
+	})
+	if err != nil {
+		return err
+	}
 	k.records = append(k.records, RoundRecord{
 		Round:     k.round,
 		Challenge: k.challenge,
-		ProofSize: len(proofBytes),
-		GasUsed:   rcpt.GasUsed,
+		ProofSize: len(k.pendingProof),
+		GasUsed:   k.pendingGas + rcpt.GasUsed,
+		SettleGas: rcpt.GasUsed,
 		Passed:    passed,
 	})
 	k.round++
 	k.challenge = nil
+	k.pendingProof = nil
+	k.pendingGas = 0
 
+	// The state machine advances before any funds move: a chain fault in a
+	// transfer below still surfaces as an error, but can never strand the
+	// contract in SETTLE where a later settlement pass would re-judge (and
+	// wrongly slash) a round whose verdict is already recorded.
 	if !passed {
 		k.Chain.Emit("fail", nil)
-		return false, k.settleFailure()
+		return k.settleFailure()
 	}
 	k.Chain.Emit("pass", nil)
-	if err := k.payProvider(); err != nil {
-		return true, err
-	}
 	if k.round >= k.Terms.Rounds {
-		return true, k.expire()
+		k.state = StateExpired
+		if err := k.payProvider(); err != nil {
+			return err
+		}
+		return k.expire()
 	}
 	k.state = StateAudit
 	k.trigger = k.Chain.Height() + k.Terms.RoundInterval
-	return true, nil
+	return k.payProvider()
 }
 
 // MissDeadline fires when the proof deadline passes with no proof: treated
@@ -365,23 +519,24 @@ func (k *Contract) payProvider() error {
 }
 
 // settleFailure slashes the provider's collateral to the owner, refunds the
-// owner's remaining escrow, and terminates the contract.
+// owner's remaining escrow, and terminates the contract. The terminal state
+// lands before the transfers so a chain fault cannot leave the contract
+// re-enterable.
 func (k *Contract) settleFailure() error {
+	k.state = StateAborted
 	if k.providerEsc.Sign() > 0 {
 		if err := k.Chain.Unlock(k.Terms.Provider, k.providerEsc, k.Terms.Owner); err != nil {
 			return err
 		}
 		k.providerEsc.SetInt64(0)
 	}
-	if err := k.refundOwner(); err != nil {
-		return err
-	}
-	k.state = StateAborted
-	return nil
+	return k.refundOwner()
 }
 
 // expire ends a fully-served contract: both residual escrows return home.
+// Like settleFailure, the terminal state lands before the transfers.
 func (k *Contract) expire() error {
+	k.state = StateExpired
 	if k.providerEsc.Sign() > 0 {
 		if err := k.Chain.Unlock(k.Terms.Provider, k.providerEsc, k.Terms.Provider); err != nil {
 			return err
@@ -391,7 +546,6 @@ func (k *Contract) expire() error {
 	if err := k.refundOwner(); err != nil {
 		return err
 	}
-	k.state = StateExpired
 	k.Chain.Emit("expired", nil)
 	return nil
 }

@@ -108,7 +108,7 @@ func (f *fixture) initToAudit(t *testing.T) {
 	}
 }
 
-// runRound executes one full challenge/prove/verify round.
+// runRound executes one full challenge/prove/submit/settle round.
 func (f *fixture) runRound(t *testing.T) bool {
 	t.Helper()
 	f.advance()
@@ -124,7 +124,14 @@ func (f *fixture) runRound(t *testing.T) bool {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := f.contract.SubmitProof("provider", enc)
+	if err := f.contract.SubmitProof("provider", enc); err != nil {
+		t.Fatal(err)
+	}
+	if f.contract.State() != StateSettle {
+		t.Fatalf("state after submit = %v, want SETTLE", f.contract.State())
+	}
+	f.chain.MineBlock() // block inclusion: the settlement point
+	ok, err := f.contract.Settle()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,12 +208,20 @@ func TestGarbageProofSlashes(t *testing.T) {
 	if _, err := f.contract.IssueChallenge(); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := f.contract.SubmitProof("provider", make([]byte, core.PrivateProofSize))
+	// Phase 1 accepts the bytes sight unseen (calldata only) ...
+	if err := f.contract.SubmitProof("provider", make([]byte, core.PrivateProofSize)); err != nil {
+		t.Fatal(err)
+	}
+	// ... and settlement rejects them without pairing work.
+	ok, err := f.contract.Settle()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok || f.contract.State() != StateAborted {
 		t.Fatal("garbage proof not slashed")
+	}
+	if rec := f.contract.Records()[0]; rec.SettleGas != f.chain.Config().Gas.TxBase {
+		t.Fatalf("parse rejection charged verification gas: %d", rec.SettleGas)
 	}
 }
 
@@ -260,8 +275,14 @@ func TestStateMachineGuards(t *testing.T) {
 	if _, err := f.contract.IssueChallenge(); !errors.Is(err, ErrWrongState) {
 		t.Fatalf("IssueChallenge in INIT: %v", err)
 	}
-	if _, err := f.contract.SubmitProof("provider", nil); !errors.Is(err, ErrWrongState) {
+	if err := f.contract.SubmitProof("provider", nil); !errors.Is(err, ErrWrongState) {
 		t.Fatalf("SubmitProof in INIT: %v", err)
+	}
+	if _, err := f.contract.Settle(); !errors.Is(err, ErrWrongState) {
+		t.Fatalf("Settle in INIT: %v", err)
+	}
+	if _, err := f.contract.PendingItem(); !errors.Is(err, ErrWrongState) {
+		t.Fatalf("PendingItem in INIT: %v", err)
 	}
 	if err := f.contract.Acknowledge("provider", true); !errors.Is(err, ErrWrongState) {
 		t.Fatalf("Acknowledge in INIT: %v", err)
@@ -279,7 +300,7 @@ func TestStateMachineGuards(t *testing.T) {
 	if _, err := f.contract.IssueChallenge(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.contract.SubmitProof("mallory", nil); !errors.Is(err, ErrWrongParty) {
+	if err := f.contract.SubmitProof("mallory", nil); !errors.Is(err, ErrWrongParty) {
 		t.Fatalf("wrong party: %v", err)
 	}
 }

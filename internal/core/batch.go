@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"math"
 	"math/big"
 
@@ -20,10 +22,14 @@ type BatchItem struct {
 }
 
 // BatchVerify checks many private proofs from independent contracts while
-// sharing a single final exponentiation across all of them (4 Miller loops
-// per item, one final exponentiation total). A batch verifies only if every
-// relation holds; on failure the caller falls back to per-item Verify to
-// locate the offender.
+// sharing a single final exponentiation across all of them. Per item only
+// two Miller loops remain (the g1^{-y'} and chi terms merge since both pair
+// against the item's eps), and every item's sigma term pairs against the
+// shared generator g2, so all N of them collapse into one Miller loop over
+// the weighted sum: 2N+1 Miller loops and one final exponentiation total,
+// versus N*(3 Miller loops + 1 final exponentiation) verified one by one.
+// A batch verifies only if every relation holds; on failure the caller
+// falls back to bisection (VerifyBatch) to locate the offender.
 //
 // Note the usual batching caveat does not apply here: each item's equation
 // is checked against its own independent zeta = H'(R_i), and an adversary
@@ -38,43 +44,183 @@ func BatchVerify(items []*BatchItem) bool {
 	if len(items) == 0 {
 		return true
 	}
-	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
-	acc := new(bn256.GT).SetOne()
-	rAgg := new(bn256.GT).SetOne()
+	return verifyTerms(prepareBatch(items), nil)
+}
 
-	// Batch weights: rho_i = H'(transcript_i || i).
+// BatchStats counts the pairing workload of batched verification, the
+// ProveStats analogue for the settlement side. Each batchVerify invocation
+// performs one final exponentiation and 2N+1 Miller loops for N items (two
+// per item plus the shared sigma loop), so the counters make the
+// amortization claim (and the bisection overhead on dispute) directly
+// measurable.
+type BatchStats struct {
+	FinalExps   int // final exponentiations performed
+	MillerLoops int // Miller loops performed
+}
+
+// VerifyBatch returns a per-item verdict for the whole batch. An all-honest
+// batch costs a single shared final exponentiation; on failure the batch is
+// bisected recursively until the offending item(s) are isolated, so one
+// cheater among N honest items costs O(log N) extra verifications instead
+// of forcing N per-item ones. Each item's expensive inputs — the expanded
+// challenge, the chi multi-scalar multiplication, and its weight — are
+// prepared once and shared by every bisection level, so re-verifying a
+// sub-batch costs only its Miller loops and one final exponentiation.
+// stats may be nil.
+func VerifyBatch(items []*BatchItem, stats *BatchStats) []bool {
+	verdicts := make([]bool, len(items))
+	if len(items) == 0 {
+		return verdicts
+	}
+	bisect(prepareBatch(items), verdicts, stats, false)
+	return verdicts
+}
+
+// bisect marks the verdicts of terms and reports whether the whole
+// sub-batch verified: all true if it does, otherwise recursing into halves
+// (a single item's failure is its own verdict). knownBad skips the
+// sub-batch's own verification when the caller has already proved it must
+// fail — a failed parent whose first half passes pins the failure in the
+// second half, so re-verifying that half as a whole would waste a final
+// exponentiation at every such level.
+func bisect(terms []*batchTerm, verdicts []bool, stats *BatchStats, knownBad bool) bool {
+	if !knownBad && verifyTerms(terms, stats) {
+		for i := range verdicts {
+			verdicts[i] = true
+		}
+		return true
+	}
+	if len(terms) == 1 {
+		verdicts[0] = false
+		return false
+	}
+	mid := len(terms) / 2
+	leftOK := bisect(terms[:mid], verdicts[:mid], stats, false)
+	bisect(terms[mid:], verdicts[mid:], stats, leftOK)
+	return false
+}
+
+// batchWeight derives the ~128-bit weight rho_i for batch position i:
+// H'(digest || i) with the index encoded as 4 big-endian bytes, so
+// positions that differ only above the low byte (e.g. 0 and 256) still get
+// independent weights. The digest commits to the whole batch transcript
+// (every item's full response, see batchTranscript), never a single
+// prover's contribution alone.
+func batchWeight(digest []byte, i int) *big.Int {
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], uint32(i))
+	seed := make([]byte, 0, len(digest)+4)
+	seed = append(seed, digest...)
+	seed = append(seed, idx[:]...)
+	rho := new(big.Int).Rsh(prf.OracleGT(seed), 126)
+	if rho.Sign() == 0 {
+		rho.SetInt64(1)
+	}
+	return rho
+}
+
+// batchTranscript hashes every item's full response (sigma, y', psi, R)
+// into one 32-byte digest. Deriving each rho_i from this digest means no
+// prover can predict any weight before the entire batch is committed:
+// changing any single proof re-randomizes every weight in the batch. The
+// transcript is hashed once — not once per weight — so weight derivation
+// stays O(N) in the batch size.
+func batchTranscript(items []*BatchItem) []byte {
+	h := sha256.New()
+	for _, it := range items {
+		h.Write(it.Proof.Sigma.Marshal())
+		h.Write(ff.Bytes(it.Proof.YPrime))
+		h.Write(it.Proof.Psi.Marshal())
+		h.Write(it.Proof.R.Marshal())
+	}
+	return h.Sum(nil)
+}
+
+// batchTerm is one item's fully prepared verification inputs: the expanded
+// challenge, the chi multi-scalar multiplication, the weight rho_i from the
+// whole-batch transcript, and the weighted G1/G2/GT terms that enter the
+// pairing equation. Preparing these once lets bisection re-verify any
+// sub-batch at the cost of its Miller loops and one final exponentiation,
+// without redoing the expensive per-item setup.
+type batchTerm struct {
+	ok      bool      // challenge expanded successfully
+	epsTerm *bn256.G1 // g1^{-rho*y'} * chi^{-zeta*rho}: pairs against eps
+	eps     *bn256.G2
+	negPsi  *bn256.G1 // psi^{-zeta*rho}: pairs against dEps
+	dEps    *bn256.G2 // delta * eps^{-r}
+	sigmaW  *bn256.G1 // sigma^{zeta*rho}: pairs against the shared g2
+	rW      *bn256.GT // R^rho
+}
+
+// prepareBatch derives the whole-batch weights and precomputes every item's
+// pairing terms. An item whose challenge fails to expand is marked !ok and
+// fails its (sub-)batch without pairing work.
+func prepareBatch(items []*BatchItem) []*batchTerm {
+	transcript := batchTranscript(items)
+	terms := make([]*batchTerm, len(items))
 	for bi, it := range items {
+		term := &batchTerm{}
+		terms[bi] = term
 		indices, coeffs, r, err := it.Challenge.Expand(it.NumChunks)
 		if err != nil {
-			return false
+			continue
 		}
 		zeta := prf.OracleGT(it.Proof.R.Marshal())
-
-		weightInput := append(it.Proof.R.Marshal(), byte(bi))
-		rho := new(big.Int).Rsh(prf.OracleGT(weightInput), 126) // ~128-bit weight
-		if rho.Sign() == 0 {
-			rho.SetInt64(1)
-		}
-
+		rho := batchWeight(transcript, bi)
 		zr := ff.Mul(zeta, rho)
-		x := chi(it.Pub, indices, coeffs)
-		x.ScalarMult(x, zr)
-		negX := new(bn256.G1).Neg(x)
 
-		sigmaZ := new(bn256.G1).ScalarMult(it.Proof.Sigma, zr)
-		psiZ := new(bn256.G1).ScalarMult(it.Proof.Psi, zr)
-		negPsi := new(bn256.G1).Neg(psiZ)
-		gNegY := new(bn256.G1).ScalarBaseMult(ff.Neg(ff.Mul(rho, it.Proof.YPrime)))
+		// The g1^{-rho*y'} and chi^{-zeta*rho} terms both pair against this
+		// item's eps: one merged Miller loop.
+		epsTerm := new(bn256.G1).ScalarBaseMult(ff.Neg(ff.Mul(rho, it.Proof.YPrime)))
+		x := chi(it.Pub, indices, coeffs)
+		epsTerm.Add(epsTerm, new(bn256.G1).Neg(x.ScalarMult(x, zr)))
 
 		dEps := new(bn256.G2).ScalarMult(it.Pub.Epsilon, ff.Neg(r))
 		dEps.Add(it.Pub.Delta, dEps)
 
-		acc.Add(acc, bn256.MillerLoop(sigmaZ, g2))
-		acc.Add(acc, bn256.MillerLoop(gNegY, it.Pub.Epsilon))
-		acc.Add(acc, bn256.MillerLoop(negX, it.Pub.Epsilon))
-		acc.Add(acc, bn256.MillerLoop(negPsi, dEps))
+		term.ok = true
+		term.epsTerm = epsTerm
+		term.eps = it.Pub.Epsilon
+		term.negPsi = new(bn256.G1).Neg(new(bn256.G1).ScalarMult(it.Proof.Psi, zr))
+		term.dEps = dEps
+		term.sigmaW = new(bn256.G1).ScalarMult(it.Proof.Sigma, zr)
+		term.rW = new(bn256.GT).ScalarMult(it.Proof.R, rho)
+	}
+	return terms
+}
 
-		rAgg.Add(rAgg, new(bn256.GT).ScalarMult(it.Proof.R, rho))
+// verifyTerms checks one (sub-)batch of prepared terms: two Miller loops per
+// item, one shared sigma loop, one shared final exponentiation.
+func verifyTerms(terms []*batchTerm, stats *BatchStats) bool {
+	// A term whose challenge failed to expand fails the whole (sub-)batch:
+	// detect it before spending any Miller loops, at every bisection level.
+	for _, term := range terms {
+		if !term.ok {
+			return false
+		}
+	}
+	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	acc := new(bn256.GT).SetOne()
+	rAgg := new(bn256.GT).SetOne()
+	sigmaAgg := new(bn256.G1).SetInfinity() // sum of weighted sigma terms
+
+	for _, term := range terms {
+		// Every item's sigma term pairs against the shared g2: accumulate
+		// in G1 and run a single Miller loop after the loop.
+		sigmaAgg.Add(sigmaAgg, term.sigmaW)
+
+		acc.Add(acc, bn256.MillerLoop(term.epsTerm, term.eps))
+		acc.Add(acc, bn256.MillerLoop(term.negPsi, term.dEps))
+		if stats != nil {
+			stats.MillerLoops += 2
+		}
+
+		rAgg.Add(rAgg, term.rW)
+	}
+	acc.Add(acc, bn256.MillerLoop(sigmaAgg, g2))
+	if stats != nil {
+		stats.MillerLoops++
+		stats.FinalExps++
 	}
 	res := bn256.FinalExponentiate(acc)
 	res.Add(res, rAgg)

@@ -41,6 +41,101 @@ func TestBatchVerifyEmpty(t *testing.T) {
 	if !BatchVerify(nil) {
 		t.Fatal("empty batch should verify")
 	}
+	if got := VerifyBatch(nil, nil); len(got) != 0 {
+		t.Fatal("empty VerifyBatch should return no verdicts")
+	}
+}
+
+// TestBatchWeightEncodesFullIndex pins the weight-derivation fix: the batch
+// index is hashed as 4 big-endian bytes, so positions 0 and 256 (identical
+// mod 256, which the old single-byte encoding conflated) get independent
+// weights.
+func TestBatchWeightEncodesFullIndex(t *testing.T) {
+	r := make([]byte, 48)
+	for i := range r {
+		r[i] = byte(i * 7)
+	}
+	if batchWeight(r, 0).Cmp(batchWeight(r, 256)) == 0 {
+		t.Fatal("batch positions 0 and 256 share a weight: index truncated mod 256")
+	}
+	if batchWeight(r, 1).Cmp(batchWeight(r, 257)) == 0 {
+		t.Fatal("batch positions 1 and 257 share a weight: index truncated mod 256")
+	}
+	// Sanity: the weight is still deterministic and ~128 bits.
+	w := batchWeight(r, 3)
+	if w.Cmp(batchWeight(r, 3)) != 0 {
+		t.Fatal("weight not deterministic")
+	}
+	if w.BitLen() > 130 {
+		t.Fatalf("weight too wide: %d bits", w.BitLen())
+	}
+}
+
+// TestVerifyBatchBisection plants one corrupt proof among honest items and
+// checks the bisection isolates exactly it — at a final-exponentiation
+// budget strictly below per-item verification.
+func TestVerifyBatchBisection(t *testing.T) {
+	const n = 8
+	items := make([]*BatchItem, n)
+	_, ef, prover := testSetup(t, 4, 600)
+	for i := range items {
+		ch, err := NewChallenge(3, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = &BatchItem{
+			Pub:       prover.Pub,
+			NumChunks: ef.NumChunks(),
+			Challenge: ch,
+			Proof:     proof,
+		}
+	}
+	const bad = 5
+	items[bad].Proof.YPrime = items[0].Proof.YPrime
+
+	var stats BatchStats
+	verdicts := VerifyBatch(items, &stats)
+	for i, ok := range verdicts {
+		if want := i != bad; ok != want {
+			t.Errorf("item %d verdict %v, want %v", i, ok, want)
+		}
+	}
+	// One cheater in 8: the full batch plus, per level, only the halves
+	// not already proved failing (a failed parent with a passing first
+	// half pins the failure in the second, which skips its own verify) —
+	// 5 final exponentiations here, versus 8 for per-item verification.
+	if stats.FinalExps >= n {
+		t.Fatalf("bisection used %d final exps, per-item needs only %d", stats.FinalExps, n)
+	}
+	if stats.MillerLoops == 0 {
+		t.Fatal("Miller loops not counted")
+	}
+
+	// An all-honest batch costs exactly one final exponentiation.
+	items[bad].Proof.YPrime = nil
+	ch := items[bad].Challenge
+	proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items[bad].Proof = proof
+	stats = BatchStats{}
+	for i, ok := range VerifyBatch(items, &stats) {
+		if !ok {
+			t.Fatalf("honest item %d rejected", i)
+		}
+	}
+	if stats.FinalExps != 1 {
+		t.Fatalf("honest batch used %d final exps, want 1", stats.FinalExps)
+	}
+	// Two Miller loops per item plus the one shared sigma-term loop.
+	if stats.MillerLoops != 2*n+1 {
+		t.Fatalf("honest batch used %d Miller loops, want %d", stats.MillerLoops, 2*n+1)
+	}
 }
 
 func TestDetectionProbability(t *testing.T) {

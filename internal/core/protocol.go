@@ -267,7 +267,7 @@ func chi(pk *PublicKey, indices []int, coeffs ff.Vector) *bn256.G1 {
 //
 //	e(sigma, g2) * e(g1^{-y}, eps) = e(chi, eps) * e(psi, delta * eps^{-r})
 //
-// folded into a single product of four Miller loops sharing one final
+// folded into a single product of three Miller loops sharing one final
 // exponentiation. d is the file's chunk count.
 func Verify(pk *PublicKey, d int, ch *Challenge, pr *Proof) bool {
 	indices, coeffs, r, err := ch.Expand(d)
@@ -298,11 +298,14 @@ func VerifyPrivate(pk *PublicKey, d int, ch *Challenge, pr *PrivateProof) bool {
 //
 //	[R *] e(sigma, g2) * e(g1^{-y}, eps) * e(chi, eps)^{-1} * e(psi, delta*eps^{-r})^{-1} == 1
 //
-// with one shared final exponentiation. R == nil means the non-private form.
+// with one shared final exponentiation. The g1^{-y} and chi^{-1} terms pair
+// against the same eps, so they are merged into a single Miller loop
+// (e(a,Q)*e(b,Q) = e(a+b,Q) once final-exponentiated): three Miller loops
+// total. R == nil means the non-private form.
 func verifyEquation(pk *PublicKey, chiAgg *bn256.G1, r *big.Int, sigma *bn256.G1, y *big.Int, psi *bn256.G1, rCommit *bn256.GT) bool {
 	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
-	gNegY := new(bn256.G1).ScalarBaseMult(ff.Neg(y))
-	negChi := new(bn256.G1).Neg(chiAgg)
+	epsTerm := new(bn256.G1).ScalarBaseMult(ff.Neg(y)) // g1^{-y}
+	epsTerm.Add(epsTerm, new(bn256.G1).Neg(chiAgg))    // * chi^{-1}
 	negPsi := new(bn256.G1).Neg(psi)
 
 	// delta * eps^{-r}
@@ -310,8 +313,7 @@ func verifyEquation(pk *PublicKey, chiAgg *bn256.G1, r *big.Int, sigma *bn256.G1
 	dEps.Add(pk.Delta, dEps)
 
 	acc := bn256.MillerLoop(sigma, g2)
-	acc.Add(acc, bn256.MillerLoop(gNegY, pk.Epsilon))
-	acc.Add(acc, bn256.MillerLoop(negChi, pk.Epsilon))
+	acc.Add(acc, bn256.MillerLoop(epsTerm, pk.Epsilon))
 	acc.Add(acc, bn256.MillerLoop(negPsi, dEps))
 	res := bn256.FinalExponentiate(acc)
 	if rCommit != nil {
