@@ -1,0 +1,121 @@
+// Command benchjson converts a `go test -bench -json` event stream (stdin)
+// into a compact benchmark-trajectory JSON document (stdout). It exists so
+// CI can append one machine-readable point per run to the BENCH_* files that
+// track hot-path performance across PRs:
+//
+//	go test -run xxx -bench 'Pairing|MultiScalarMult' -benchtime 1x -json ./internal/bn256/ | benchjson > BENCH_pairing.json
+//
+// The output is a JSON object {"benchmarks": [{name, iterations, ns_per_op,
+// metrics}, ...]} sorted by benchmark name. Custom b.ReportMetric values
+// (gas, bytes, rounds/s, ...) are preserved under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json schema benchjson consumes.
+type event struct {
+	Action  string `json:"Action"`
+	Output  string `json:"Output"`
+	Package string `json:"Package"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var results []Benchmark
+	// go test emits a benchmark's name and its timing as separate output
+	// events ("BenchmarkFoo \t" then "  1\t 123 ns/op\n"), so reassemble
+	// complete lines per package before parsing.
+	partial := map[string]string{}
+	for scanner.Scan() {
+		var ev event
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			continue // tolerate interleaved plain-text output
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if b, ok := parseBenchLine(buf[:nl+1]); ok {
+				b.Package = ev.Package
+				results = append(results, b)
+			}
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a standard benchmark result line:
+//
+//	BenchmarkName-8    20    2292011 ns/op    12 gas    3.5 rounds/s
+func parseBenchLine(line string) (Benchmark, bool) {
+	line = strings.TrimSuffix(line, "\n")
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp != 0 || b.Metrics != nil
+}

@@ -82,6 +82,17 @@ func randomScalar(r io.Reader) (*big.Int, error) {
 	}
 }
 
+// GenG1 returns the canonical generator of G1 (the point (1, 2)). The
+// underlying coordinates are copied, so the result is an ordinary mutable
+// element; the copy costs a struct assignment, versus a full fixed-base
+// scalar multiplication for ScalarBaseMult(1).
+func GenG1() *G1 { return &G1{p: newCurvePoint().Set(g1Gen)} }
+
+// GenG2 returns the canonical generator of the order-n subgroup of G2.
+// Like GenG1 it returns a fresh copy; prefer it over ScalarBaseMult(1),
+// which pays a full double-and-add ladder over Fp2.
+func GenG2() *G2 { return &G2{p: newTwistPoint().Set(g2Gen)} }
+
 // --- G1 ---
 
 func (e *G1) ensure() *G1 {
@@ -153,9 +164,19 @@ func (e *G1) Marshal() []byte {
 		return out
 	}
 	x, y := e.p.Affine()
-	x.FillBytes(out[:32])
-	y.FillBytes(out[32:])
+	x.Marshal(out[:32])
+	y.Marshal(out[32:])
 	return out
+}
+
+// allZero reports whether data is entirely zero bytes.
+func allZero(data []byte) bool {
+	for _, b := range data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Unmarshal decodes an uncompressed encoding, validating curve membership.
@@ -164,16 +185,18 @@ func (e *G1) Unmarshal(data []byte) error {
 		return ErrMalformedPoint
 	}
 	e.ensure()
-	x := new(big.Int).SetBytes(data[:32])
-	y := new(big.Int).SetBytes(data[32:])
-	if x.Sign() == 0 && y.Sign() == 0 {
+	if allZero(data) {
 		e.p.SetInfinity()
 		return nil
 	}
-	if x.Cmp(P) >= 0 || y.Cmp(P) >= 0 {
-		return ErrMalformedPoint
+	var x, y gfP
+	if err := x.Unmarshal(data[:32]); err != nil {
+		return err
 	}
-	e.p.SetAffine(x, y)
+	if err := y.Unmarshal(data[32:]); err != nil {
+		return err
+	}
+	e.p.SetAffine(&x, &y)
 	if !e.p.IsOnCurve() {
 		return ErrMalformedPoint
 	}
@@ -190,8 +213,8 @@ func (e *G1) MarshalCompressed() []byte {
 		return out
 	}
 	x, y := e.p.Affine()
-	x.FillBytes(out)
-	if y.Bit(0) == 1 {
+	x.Marshal(out)
+	if y.IsOdd() {
 		out[0] |= flagYOdd
 	}
 	return out
@@ -205,13 +228,8 @@ func (e *G1) UnmarshalCompressed(data []byte) error {
 	e.ensure()
 	if data[0]&flagInfinity != 0 {
 		// Canonical infinity is exactly the flag byte followed by zeros.
-		if data[0] != flagInfinity {
+		if data[0] != flagInfinity || !allZero(data[1:]) {
 			return ErrMalformedPoint
-		}
-		for _, b := range data[1:] {
-			if b != 0 {
-				return ErrMalformedPoint
-			}
 		}
 		e.p.SetInfinity()
 		return nil
@@ -220,22 +238,20 @@ func (e *G1) UnmarshalCompressed(data []byte) error {
 	raw := make([]byte, 32)
 	copy(raw, data)
 	raw[0] &^= flagYOdd | flagInfinity
-	x := new(big.Int).SetBytes(raw)
-	if x.Cmp(P) >= 0 {
+	var x, y2, y gfP
+	if err := x.Unmarshal(raw); err != nil {
+		return err
+	}
+	gfpMul(&y2, &x, &x)
+	gfpMul(&y2, &y2, &x)
+	gfpAdd(&y2, &y2, &gfpCurveB)
+	if y.Sqrt(&y2) == nil {
 		return ErrMalformedPoint
 	}
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	y2.Add(y2, curveB)
-	modP(y2)
-	y := sqrtFp(y2)
-	if y == nil {
-		return ErrMalformedPoint
+	if y.IsOdd() != yOdd {
+		gfpNeg(&y, &y)
 	}
-	if (y.Bit(0) == 1) != yOdd {
-		y.Sub(P, y)
-	}
-	e.p.SetAffine(x, y)
+	e.p.SetAffine(&x, &y)
 	return nil
 }
 
@@ -307,10 +323,10 @@ func (e *G2) Marshal() []byte {
 		return out
 	}
 	x, y := e.p.Affine()
-	x.x.FillBytes(out[0:32])
-	x.y.FillBytes(out[32:64])
-	y.x.FillBytes(out[64:96])
-	y.y.FillBytes(out[96:128])
+	x.x.Marshal(out[0:32])
+	x.y.Marshal(out[32:64])
+	y.x.Marshal(out[64:96])
+	y.y.Marshal(out[96:128])
 	return out
 }
 
@@ -322,23 +338,22 @@ func (e *G2) Unmarshal(data []byte) error {
 		return ErrMalformedPoint
 	}
 	e.ensure()
-	coords := make([]*big.Int, 4)
-	allZero := true
-	for i := range coords {
-		coords[i] = new(big.Int).SetBytes(data[i*32 : (i+1)*32])
-		if coords[i].Cmp(P) >= 0 {
-			return ErrMalformedPoint
+	x, y := newGFp2(), newGFp2()
+	coords := []*gfP{&x.x, &x.y, &y.x, &y.y}
+	zero := true
+	for i, c := range coords {
+		chunk := data[i*32 : (i+1)*32]
+		if err := c.Unmarshal(chunk); err != nil {
+			return err
 		}
-		if coords[i].Sign() != 0 {
-			allZero = false
+		if !allZero(chunk) {
+			zero = false
 		}
 	}
-	if allZero {
+	if zero {
 		e.p.SetInfinity()
 		return nil
 	}
-	x := &gfP2{x: coords[0], y: coords[1]}
-	y := &gfP2{x: coords[2], y: coords[3]}
 	e.p.SetAffine(x, y)
 	if !e.p.IsOnCurve() {
 		return ErrMalformedPoint
@@ -411,15 +426,15 @@ func (e *GT) Marshal() []byte {
 	out := make([]byte, GTUncompressedSize)
 	coeffs := e.coeffs()
 	for i, c := range coeffs {
-		c.FillBytes(out[i*32 : (i+1)*32])
+		c.Marshal(out[i*32 : (i+1)*32])
 	}
 	return out
 }
 
-func (e *GT) coeffs() []*big.Int {
-	return []*big.Int{
-		e.p.x.x.x, e.p.x.x.y, e.p.x.y.x, e.p.x.y.y, e.p.x.z.x, e.p.x.z.y,
-		e.p.y.x.x, e.p.y.x.y, e.p.y.y.x, e.p.y.y.y, e.p.y.z.x, e.p.y.z.y,
+func (e *GT) coeffs() []*gfP {
+	return []*gfP{
+		&e.p.x.x.x, &e.p.x.x.y, &e.p.x.y.x, &e.p.x.y.y, &e.p.x.z.x, &e.p.x.z.y,
+		&e.p.y.x.x, &e.p.y.x.y, &e.p.y.y.x, &e.p.y.y.y, &e.p.y.z.x, &e.p.y.z.y,
 	}
 }
 
@@ -432,9 +447,8 @@ func (e *GT) Unmarshal(data []byte) error {
 	e.ensure()
 	coeffs := e.coeffs()
 	for i, c := range coeffs {
-		c.SetBytes(data[i*32 : (i+1)*32])
-		if c.Cmp(P) >= 0 {
-			return ErrMalformedPoint
+		if err := c.Unmarshal(data[i*32 : (i+1)*32]); err != nil {
+			return err
 		}
 	}
 	if !newGFp12().Exp(e.p, Order).IsOne() {
@@ -457,15 +471,15 @@ func (e *GT) MarshalCompressed() ([]byte, error) {
 	if e.p.x.IsZero() {
 		return nil, errors.New("bn256: GT element with trivial omega part is not torus-compressible")
 	}
-	yInv := newGFp6().Invert(e.p.x)
+	yInv := newGFp6().Invert(&e.p.x)
 	a := newGFp6().SetOne()
-	a.Add(a, e.p.y)
+	a.Add(a, &e.p.y)
 	a.Mul(a, yInv)
 
 	out := make([]byte, GTCompressedSize)
-	cs := []*big.Int{a.x.x, a.x.y, a.y.x, a.y.y, a.z.x, a.z.y}
+	cs := []*gfP{&a.x.x, &a.x.y, &a.y.x, &a.y.y, &a.z.x, &a.z.y}
 	for i, c := range cs {
-		c.FillBytes(out[i*32 : (i+1)*32])
+		c.Marshal(out[i*32 : (i+1)*32])
 	}
 	return out, nil
 }
@@ -478,11 +492,10 @@ func (e *GT) UnmarshalCompressed(data []byte) error {
 	}
 	e.ensure()
 	a := newGFp6()
-	cs := []*big.Int{a.x.x, a.x.y, a.y.x, a.y.y, a.z.x, a.z.y}
+	cs := []*gfP{&a.x.x, &a.x.y, &a.y.x, &a.y.y, &a.z.x, &a.z.y}
 	for i, c := range cs {
-		c.SetBytes(data[i*32 : (i+1)*32])
-		if c.Cmp(P) >= 0 {
-			return ErrMalformedPoint
+		if err := c.Unmarshal(data[i*32 : (i+1)*32]); err != nil {
+			return err
 		}
 	}
 	// r = (a^2 + tau + 2a*omega) / (a^2 - tau)

@@ -82,7 +82,7 @@ func TestG2UnmarshalRejectsWrongSubgroup(t *testing.T) {
 	// Construct a twist point outside the order-n subgroup: a point of the
 	// full twist group that survives multiplication by n.
 	for j := int64(0); ; j++ {
-		x := &gfP2{x: big.NewInt(j), y: big.NewInt(1)}
+		x := newGFp2().SetInt64s(j, 1)
 		y2 := newGFp2().Square(x)
 		y2.Mul(y2, x)
 		y2.Add(y2, twistB)
@@ -96,10 +96,10 @@ func TestG2UnmarshalRejectsWrongSubgroup(t *testing.T) {
 		}
 		enc := make([]byte, G2UncompressedSize)
 		px, py := pt.Affine()
-		px.x.FillBytes(enc[0:32])
-		px.y.FillBytes(enc[32:64])
-		py.x.FillBytes(enc[64:96])
-		py.y.FillBytes(enc[96:128])
+		px.x.Marshal(enc[0:32])
+		px.y.Marshal(enc[32:64])
+		py.x.Marshal(enc[64:96])
+		py.y.Marshal(enc[96:128])
 		var q G2
 		if err := q.Unmarshal(enc); err == nil {
 			t.Fatal("accepted a twist point outside the order-n subgroup")

@@ -3,19 +3,24 @@
 // pairing precompiles and referenced by the paper as its BN256 instantiation),
 // together with the optimal ate pairing e: G1 x G2 -> GT.
 //
-// The implementation is self-contained (math/big only). All derived
+// The implementation is self-contained (standard library only). All derived
 // constants -- the field prime, the group order, Frobenius coefficients,
-// twist cofactor, and the final-exponentiation hard part -- are computed at
-// package initialization from the single BN parameter u and validated by
-// consistency checks, so a transcription error in any constant fails fast
-// at startup instead of producing subtly wrong pairings.
+// twist cofactor, the final-exponentiation hard part, and the Montgomery
+// parameters of the base field -- are computed at package initialization
+// from the single BN parameter u and validated by consistency checks, so a
+// transcription error in any constant fails fast at startup instead of
+// producing subtly wrong pairings.
 //
-// Design choices favor auditability over raw speed: field elements are
-// big.Int values, the Miller loop runs in affine coordinates, and the
-// final exponentiation's hard part is a plain square-and-multiply by the
-// exact exponent (p^4 - p^2 + 1)/n. Group operations use Jacobian
-// coordinates. See the package tests for the bilinearity, non-degeneracy
-// and marshaling properties that pin the implementation down.
+// Base-field elements are fixed [4]uint64 limbs in Montgomery form (gfp.go),
+// with Karatsuba multiplication through the Fp2/Fp6/Fp12 tower; scalars and
+// exponents remain big.Int. The Miller loop runs in affine coordinates and
+// group operations use Jacobian coordinates. Correctness is pinned three
+// ways: differential tests of the limb arithmetic against math/big, field
+// axioms and Frobenius identities at every tower level, and golden marshal
+// vectors frozen from the original big.Int implementation (wire formats are
+// byte-identical). See the package tests for the bilinearity,
+// non-degeneracy and marshaling properties that pin the implementation
+// down.
 package bn256
 
 import "math/big"
@@ -57,13 +62,13 @@ var (
 	twistB *gfP2
 
 	// Frobenius coefficients, all derived from xi at init.
-	xiToPMinus1Over6         *gfP2    // xi^((p-1)/6)
-	xiToPMinus1Over3         *gfP2    // xi^((p-1)/3)
-	xiToPMinus1Over2         *gfP2    // xi^((p-1)/2)
-	xiTo2PMinus2Over3        *gfP2    // xi^(2(p-1)/3)
-	xiToPSquaredMinus1Over6  *big.Int // xi^((p^2-1)/6), lies in Fp
-	xiToPSquaredMinus1Over3  *big.Int // xi^((p^2-1)/3), a primitive cube root of unity in Fp
-	xiTo2PSquaredMinus2Over3 *big.Int // its square, also in Fp
+	xiToPMinus1Over6         *gfP2 // xi^((p-1)/6)
+	xiToPMinus1Over3         *gfP2 // xi^((p-1)/3)
+	xiToPMinus1Over2         *gfP2 // xi^((p-1)/2)
+	xiTo2PMinus2Over3        *gfP2 // xi^(2(p-1)/3)
+	xiToPSquaredMinus1Over6  gfP   // xi^((p^2-1)/6), lies in Fp
+	xiToPSquaredMinus1Over3  gfP   // xi^((p^2-1)/3), a primitive cube root of unity in Fp
+	xiTo2PSquaredMinus2Over3 gfP   // its square, also in Fp
 )
 
 func bigFromBase10(s string) *big.Int {
@@ -106,6 +111,10 @@ func init() {
 	pPlus1Over4 = new(big.Int).Add(P, big.NewInt(1))
 	pPlus1Over4.Rsh(pPlus1Over4, 2)
 
+	// The Montgomery-form base field underlies every derived constant
+	// below, so its own constants come first.
+	initGFp()
+
 	loopCount = new(big.Int).Mul(u, big.NewInt(6))
 	loopCount.Add(loopCount, big.NewInt(2))
 
@@ -123,9 +132,9 @@ func init() {
 		panic("bn256: (p^4 - p^2 + 1) not divisible by n")
 	}
 
-	xi = &gfP2{x: big.NewInt(1), y: big.NewInt(9)}
+	xi = newGFp2().SetInt64s(1, 9)
 	twistB = newGFp2().Invert(xi)
-	twistB.MulScalar(twistB, curveB)
+	twistB.MulScalar(twistB, &gfpCurveB)
 
 	// Frobenius coefficients.
 	pMinus1 := new(big.Int).Sub(P, big.NewInt(1))
@@ -136,29 +145,26 @@ func init() {
 
 	p2Minus1 := new(big.Int).Sub(p2, big.NewInt(1))
 	t := newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(6)))
-	if t.x.Sign() != 0 {
+	if !t.x.IsZero() {
 		panic("bn256: xi^((p^2-1)/6) not in Fp")
 	}
-	xiToPSquaredMinus1Over6 = new(big.Int).Set(t.y)
+	xiToPSquaredMinus1Over6.Set(&t.y)
 
 	t = newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(3)))
-	if t.x.Sign() != 0 {
+	if !t.x.IsZero() {
 		panic("bn256: xi^((p^2-1)/3) not in Fp")
 	}
-	xiToPSquaredMinus1Over3 = new(big.Int).Set(t.y)
-	xiTo2PSquaredMinus2Over3 = new(big.Int).Mul(xiToPSquaredMinus1Over3, xiToPSquaredMinus1Over3)
-	xiTo2PSquaredMinus2Over3.Mod(xiTo2PSquaredMinus2Over3, P)
+	xiToPSquaredMinus1Over3.Set(&t.y)
+	gfpMul(&xiTo2PSquaredMinus2Over3, &xiToPSquaredMinus1Over3, &xiToPSquaredMinus1Over3)
 
 	// xi^((p^2-1)/2) must be -1 (xi is a quadratic non-residue in Fp2);
 	// the optimal-ate adjustment step relies on it.
 	t = newGFp2().Exp(xi, new(big.Int).Div(p2Minus1, big.NewInt(2)))
-	minusOne := new(big.Int).Sub(P, big.NewInt(1))
-	if t.x.Sign() != 0 || t.y.Cmp(minusOne) != 0 {
+	var minusOne gfP
+	gfpNeg(&minusOne, &rOne)
+	if !t.x.IsZero() || !t.y.Equal(&minusOne) {
 		panic("bn256: xi^((p^2-1)/2) != -1")
 	}
 
 	initGenerators()
 }
-
-// modP reduces v into [0, p).
-func modP(v *big.Int) *big.Int { return v.Mod(v, P) }

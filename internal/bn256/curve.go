@@ -4,36 +4,33 @@ import "math/big"
 
 // curvePoint is a point on E: y^2 = x^3 + 3 over Fp in Jacobian coordinates
 // (x, y, z); the affine point is (x/z^2, y/z^3), and z = 0 encodes the point
-// at infinity.
+// at infinity. Coordinates are Montgomery-form gfP values held inline, so
+// the group operations below are allocation-free.
 type curvePoint struct {
-	x, y, z *big.Int
+	x, y, z gfP
 }
 
-func newCurvePoint() *curvePoint {
-	return &curvePoint{x: new(big.Int), y: new(big.Int), z: new(big.Int)}
-}
+func newCurvePoint() *curvePoint { return &curvePoint{} }
 
 func (c *curvePoint) Set(a *curvePoint) *curvePoint {
-	c.x.Set(a.x)
-	c.y.Set(a.y)
-	c.z.Set(a.z)
+	*c = *a
 	return c
 }
 
 func (c *curvePoint) SetInfinity() *curvePoint {
-	c.x.SetInt64(1)
-	c.y.SetInt64(1)
-	c.z.SetInt64(0)
+	c.x.SetOne()
+	c.y.SetOne()
+	c.z.SetZero()
 	return c
 }
 
-func (c *curvePoint) IsInfinity() bool { return c.z.Sign() == 0 }
+func (c *curvePoint) IsInfinity() bool { return c.z.IsZero() }
 
 // SetAffine sets c to the affine point (x, y) without validation.
-func (c *curvePoint) SetAffine(x, y *big.Int) *curvePoint {
-	c.x.Mod(x, P)
-	c.y.Mod(y, P)
-	c.z.SetInt64(1)
+func (c *curvePoint) SetAffine(x, y *gfP) *curvePoint {
+	c.x.Set(x)
+	c.y.Set(y)
+	c.z.SetOne()
 	return c
 }
 
@@ -43,39 +40,38 @@ func (c *curvePoint) IsOnCurve() bool {
 		return true
 	}
 	x, y := c.Affine()
-	lhs := new(big.Int).Mul(y, y)
-	modP(lhs)
-	rhs := new(big.Int).Mul(x, x)
-	rhs.Mul(rhs, x)
-	rhs.Add(rhs, curveB)
-	modP(rhs)
-	return lhs.Cmp(rhs) == 0
+	var lhs, rhs gfP
+	gfpMul(&lhs, y, y)
+	gfpMul(&rhs, x, x)
+	gfpMul(&rhs, &rhs, x)
+	gfpAdd(&rhs, &rhs, &gfpCurveB)
+	return lhs == rhs
 }
 
 // Affine returns the affine coordinates of c. It panics on infinity.
-func (c *curvePoint) Affine() (x, y *big.Int) {
+func (c *curvePoint) Affine() (x, y *gfP) {
 	if c.IsInfinity() {
 		panic("bn256: affine coordinates of the point at infinity")
 	}
-	zInv := new(big.Int).ModInverse(c.z, P)
-	zInv2 := new(big.Int).Mul(zInv, zInv)
-	x = new(big.Int).Mul(c.x, zInv2)
-	modP(x)
-	zInv2.Mul(zInv2, zInv)
-	y = new(big.Int).Mul(c.y, zInv2)
-	modP(y)
+	var zInv, zInv2 gfP
+	zInv.Invert(&c.z)
+	gfpMul(&zInv2, &zInv, &zInv)
+	x, y = new(gfP), new(gfP)
+	gfpMul(x, &c.x, &zInv2)
+	gfpMul(&zInv2, &zInv2, &zInv)
+	gfpMul(y, &c.y, &zInv2)
 	return x, y
 }
 
 // MakeAffine normalizes c in place to z = 1 (or infinity).
 func (c *curvePoint) MakeAffine() *curvePoint {
-	if c.IsInfinity() || c.z.Cmp(bigOne) == 0 {
+	if c.IsInfinity() || c.z.IsOne() {
 		return c
 	}
 	x, y := c.Affine()
 	c.x.Set(x)
 	c.y.Set(y)
-	c.z.SetInt64(1)
+	c.z.SetOne()
 	return c
 }
 
@@ -83,17 +79,27 @@ func (c *curvePoint) Equal(a *curvePoint) bool {
 	if c.IsInfinity() || a.IsInfinity() {
 		return c.IsInfinity() == a.IsInfinity()
 	}
-	// Compare in affine form to be representation independent.
-	cx, cy := c.Affine()
-	ax, ay := a.Affine()
-	return cx.Cmp(ax) == 0 && cy.Cmp(ay) == 0
+	// Compare via cross-multiplication to be representation independent
+	// without inversions: x1*z2^2 == x2*z1^2 and y1*z2^3 == y2*z1^3.
+	var z1z1, z2z2, l, r gfP
+	gfpMul(&z1z1, &c.z, &c.z)
+	gfpMul(&z2z2, &a.z, &a.z)
+	gfpMul(&l, &c.x, &z2z2)
+	gfpMul(&r, &a.x, &z1z1)
+	if l != r {
+		return false
+	}
+	gfpMul(&z1z1, &z1z1, &c.z)
+	gfpMul(&z2z2, &z2z2, &a.z)
+	gfpMul(&l, &c.y, &z2z2)
+	gfpMul(&r, &a.y, &z1z1)
+	return l == r
 }
 
 func (c *curvePoint) Neg(a *curvePoint) *curvePoint {
-	c.x.Set(a.x)
-	c.y.Neg(a.y)
-	modP(c.y)
-	c.z.Set(a.z)
+	c.x.Set(&a.x)
+	gfpNeg(&c.y, &a.y)
+	c.z.Set(&a.z)
 	return c
 }
 
@@ -103,42 +109,37 @@ func (c *curvePoint) Double(a *curvePoint) *curvePoint {
 	if a.IsInfinity() {
 		return c.SetInfinity()
 	}
-	A := new(big.Int).Mul(a.x, a.x)
-	modP(A)
-	B := new(big.Int).Mul(a.y, a.y)
-	modP(B)
-	C := new(big.Int).Mul(B, B)
-	modP(C)
+	var A, B, C, d, e, f gfP
+	gfpMul(&A, &a.x, &a.x)
+	gfpMul(&B, &a.y, &a.y)
+	gfpMul(&C, &B, &B)
 
-	d := new(big.Int).Add(a.x, B)
-	d.Mul(d, d)
-	d.Sub(d, A)
-	d.Sub(d, C)
-	d.Lsh(d, 1)
-	modP(d)
+	gfpAdd(&d, &a.x, &B)
+	gfpMul(&d, &d, &d)
+	gfpSub(&d, &d, &A)
+	gfpSub(&d, &d, &C)
+	gfpDouble(&d, &d)
 
-	e := new(big.Int).Lsh(A, 1)
-	e.Add(e, A)
-	modP(e)
+	gfpDouble(&e, &A)
+	gfpAdd(&e, &e, &A)
 
-	f := new(big.Int).Mul(e, e)
-	modP(f)
+	gfpMul(&f, &e, &e)
 
-	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
-	modP(x3)
+	var x3, y3, z3, t gfP
+	gfpDouble(&t, &d)
+	gfpSub(&x3, &f, &t)
 
-	y3 := new(big.Int).Sub(d, x3)
-	y3.Mul(y3, e)
-	y3.Sub(y3, new(big.Int).Lsh(C, 3))
-	modP(y3)
+	gfpSub(&y3, &d, &x3)
+	gfpMul(&y3, &y3, &e)
+	gfpDouble(&t, &C)
+	gfpDouble(&t, &t)
+	gfpDouble(&t, &t)
+	gfpSub(&y3, &y3, &t)
 
-	z3 := new(big.Int).Mul(a.y, a.z)
-	z3.Lsh(z3, 1)
-	modP(z3)
+	gfpMul(&z3, &a.y, &a.z)
+	gfpDouble(&z3, &z3)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x, c.y, c.z = x3, y3, z3
 	return c
 }
 
@@ -152,78 +153,65 @@ func (c *curvePoint) Add(a, b *curvePoint) *curvePoint {
 		return c.Set(a)
 	}
 
-	z1z1 := new(big.Int).Mul(a.z, a.z)
-	modP(z1z1)
-	z2z2 := new(big.Int).Mul(b.z, b.z)
-	modP(z2z2)
+	var z1z1, z2z2, u1, u2, s1, s2, h, r gfP
+	gfpMul(&z1z1, &a.z, &a.z)
+	gfpMul(&z2z2, &b.z, &b.z)
 
-	u1 := new(big.Int).Mul(a.x, z2z2)
-	modP(u1)
-	u2 := new(big.Int).Mul(b.x, z1z1)
-	modP(u2)
+	gfpMul(&u1, &a.x, &z2z2)
+	gfpMul(&u2, &b.x, &z1z1)
 
-	s1 := new(big.Int).Mul(a.y, b.z)
-	s1.Mul(s1, z2z2)
-	modP(s1)
-	s2 := new(big.Int).Mul(b.y, a.z)
-	s2.Mul(s2, z1z1)
-	modP(s2)
+	gfpMul(&s1, &a.y, &b.z)
+	gfpMul(&s1, &s1, &z2z2)
+	gfpMul(&s2, &b.y, &a.z)
+	gfpMul(&s2, &s2, &z1z1)
 
-	h := new(big.Int).Sub(u2, u1)
-	modP(h)
-	r := new(big.Int).Sub(s2, s1)
-	modP(r)
+	gfpSub(&h, &u2, &u1)
+	gfpSub(&r, &s2, &s1)
 
-	if h.Sign() == 0 {
-		if r.Sign() == 0 {
+	if h.IsZero() {
+		if r.IsZero() {
 			return c.Double(a)
 		}
 		return c.SetInfinity()
 	}
-	r.Lsh(r, 1)
-	modP(r)
+	gfpDouble(&r, &r)
 
-	i := new(big.Int).Lsh(h, 1)
-	i.Mul(i, i)
-	modP(i)
-	j := new(big.Int).Mul(h, i)
-	modP(j)
+	var i, j, v gfP
+	gfpDouble(&i, &h)
+	gfpMul(&i, &i, &i)
+	gfpMul(&j, &h, &i)
 
-	v := new(big.Int).Mul(u1, i)
-	modP(v)
+	gfpMul(&v, &u1, &i)
 
-	x3 := new(big.Int).Mul(r, r)
-	x3.Sub(x3, j)
-	x3.Sub(x3, new(big.Int).Lsh(v, 1))
-	modP(x3)
+	var x3, y3, z3, t gfP
+	gfpMul(&x3, &r, &r)
+	gfpSub(&x3, &x3, &j)
+	gfpDouble(&t, &v)
+	gfpSub(&x3, &x3, &t)
 
-	y3 := new(big.Int).Sub(v, x3)
-	y3.Mul(y3, r)
-	t := new(big.Int).Mul(s1, j)
-	t.Lsh(t, 1)
-	y3.Sub(y3, t)
-	modP(y3)
+	gfpSub(&y3, &v, &x3)
+	gfpMul(&y3, &y3, &r)
+	gfpMul(&t, &s1, &j)
+	gfpDouble(&t, &t)
+	gfpSub(&y3, &y3, &t)
 
-	z3 := new(big.Int).Add(a.z, b.z)
-	z3.Mul(z3, z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, z2z2)
-	z3.Mul(z3, h)
-	modP(z3)
+	gfpAdd(&z3, &a.z, &b.z)
+	gfpMul(&z3, &z3, &z3)
+	gfpSub(&z3, &z3, &z1z1)
+	gfpSub(&z3, &z3, &z2z2)
+	gfpMul(&z3, &z3, &h)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x, c.y, c.z = x3, y3, z3
 	return c
 }
 
 // Mul sets c = k*a by double-and-add.
 func (c *curvePoint) Mul(a *curvePoint, k *big.Int) *curvePoint {
-	sum := newCurvePoint().SetInfinity()
 	if k.Sign() < 0 {
 		na := newCurvePoint().Neg(a)
 		return c.Mul(na, new(big.Int).Neg(k))
 	}
+	sum := newCurvePoint().SetInfinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
 		sum.Double(sum)
 		if k.Bit(i) != 0 {

@@ -46,9 +46,10 @@ func buildG1Table() {
 func mulBaseFixed(k *big.Int) *curvePoint {
 	g1TableOnce.Do(buildG1Table)
 	e := new(big.Int).Mod(k, Order)
+	words := e.Bits()
 	acc := newCurvePoint().SetInfinity()
 	for w := 0; w < fbWindows; w++ {
-		d := scalarWindow(e, w)
+		d := scalarDigit(words, w*fbWindowBits, fbWindowBits)
 		if d != 0 {
 			acc.Add(acc, g1Table[w][d])
 		}

@@ -1,7 +1,5 @@
 package bn256
 
-import "math/big"
-
 // Compressed G2 encoding: the Fp2 x-coordinate (64 bytes) with flag bits
 // packed into the spare top bits of the first coordinate, mirroring the G1
 // format. The y root is selected by a parity bit: the parity of y.y, or of
@@ -16,8 +14,8 @@ func (e *G2) MarshalCompressed() []byte {
 		return out
 	}
 	x, y := e.p.Affine()
-	x.x.FillBytes(out[:32])
-	x.y.FillBytes(out[32:])
+	x.x.Marshal(out[:32])
+	x.y.Marshal(out[32:])
 	if twistYParity(y) {
 		out[0] |= flagYOdd
 	}
@@ -33,13 +31,8 @@ func (e *G2) UnmarshalCompressed(data []byte) error {
 	e.ensure()
 	if data[0]&flagInfinity != 0 {
 		// Canonical infinity is exactly the flag byte followed by zeros.
-		if data[0] != flagInfinity {
+		if data[0] != flagInfinity || !allZero(data[1:]) {
 			return ErrMalformedPoint
-		}
-		for _, b := range data[1:] {
-			if b != 0 {
-				return ErrMalformedPoint
-			}
 		}
 		e.p.SetInfinity()
 		return nil
@@ -49,12 +42,12 @@ func (e *G2) UnmarshalCompressed(data []byte) error {
 	copy(raw, data[:32])
 	raw[0] &^= flagYOdd | flagInfinity
 
-	x := &gfP2{
-		x: new(big.Int).SetBytes(raw),
-		y: new(big.Int).SetBytes(data[32:]),
+	x := newGFp2()
+	if err := x.x.Unmarshal(raw); err != nil {
+		return err
 	}
-	if x.x.Cmp(P) >= 0 || x.y.Cmp(P) >= 0 {
-		return ErrMalformedPoint
+	if err := x.y.Unmarshal(data[32:]); err != nil {
+		return err
 	}
 	y2 := newGFp2().Square(x)
 	y2.Mul(y2, x)
@@ -75,8 +68,8 @@ func (e *G2) UnmarshalCompressed(data []byte) error {
 
 // twistYParity returns the canonical sign bit of a twist y-coordinate.
 func twistYParity(y *gfP2) bool {
-	if y.y.Sign() != 0 {
-		return y.y.Bit(0) == 1
+	if !y.y.IsZero() {
+		return y.y.IsOdd()
 	}
-	return y.x.Bit(0) == 1
+	return y.x.IsOdd()
 }

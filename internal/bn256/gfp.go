@@ -1,0 +1,344 @@
+package bn256
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// gfP is an element of the base field Fp as four 64-bit limbs in Montgomery
+// form: a gfP holding limbs x represents the field element x * R^-1 mod p,
+// R = 2^256. Values are always fully reduced into [0, p). The fixed-size
+// representation keeps every field operation allocation-free and turns the
+// full modular reduction after each big.Int op into a handful of
+// math/bits.Mul64/Add64 instructions.
+//
+// The Montgomery constants are not transcribed: initGFp derives them from
+// the package prime P (itself derived from the BN parameter u) and validates
+// them, matching the package's derive-and-check philosophy. Conversion in
+// and out of Montgomery form happens only at the marshal boundary and when
+// interoperating with math/big (Invert, exponent handling), so wire formats
+// are byte-identical to the big.Int implementation.
+type gfP [4]uint64
+
+var (
+	// pLimbs is the prime p as little-endian limbs.
+	pLimbs [4]uint64
+
+	// np is -p^-1 mod 2^64, the Montgomery reduction factor.
+	np uint64
+
+	// r2 is R^2 mod p as raw limbs; multiplying by it converts a canonical
+	// value into Montgomery form.
+	r2 gfP
+
+	// rOne is R mod p: the Montgomery form of 1.
+	rOne gfP
+
+	// gfpCurveB is the curve constant 3 in Montgomery form.
+	gfpCurveB gfP
+)
+
+// initGFp derives the Montgomery constants from P. It must run after P is
+// derived and before any gfP arithmetic (constants.go calls it from init).
+func initGFp() {
+	pLimbs = limbsFromBig(P)
+
+	// np = -p^-1 mod 2^64 by Newton iteration: each step doubles the number
+	// of correct low bits, 6 steps suffice for 64.
+	inv := pLimbs[0] // correct to 1 bit (p is odd)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - pLimbs[0]*inv
+	}
+	np = -inv
+	if pLimbs[0]*(-np) != 1 {
+		panic("bn256: montgomery inverse derivation failed")
+	}
+
+	one := new(big.Int).Lsh(bigOne, 256)
+	rOne = limbsFromBig(new(big.Int).Mod(one, P))
+	r2big := new(big.Int).Lsh(bigOne, 512)
+	r2 = limbsFromBig(r2big.Mod(r2big, P))
+
+	gfpCurveB.SetBig(curveB)
+
+	// Sanity: 1 encodes/decodes through Montgomery form.
+	var chk gfP
+	chk.SetBig(bigOne)
+	if chk != rOne || chk.Big().Cmp(bigOne) != 0 {
+		panic("bn256: montgomery constant derivation failed")
+	}
+}
+
+// limbsFromBig converts a canonical value in [0, 2^256) to limbs.
+func limbsFromBig(v *big.Int) [4]uint64 {
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	return limbsFromBytes(buf[:])
+}
+
+// limbsFromBytes parses a 32-byte big-endian encoding into limbs.
+func limbsFromBytes(data []byte) [4]uint64 {
+	var out [4]uint64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[3-i] = out[3-i]<<8 | uint64(data[i*8+j])
+		}
+	}
+	return out
+}
+
+// gfpCarrySub reduces c into [0, p): subtracts p when c >= p (or when the
+// addition that produced c overflowed 2^256, signaled by carry).
+func gfpCarrySub(c *gfP, carry uint64) {
+	var d gfP
+	var borrow uint64
+	d[0], borrow = bits.Sub64(c[0], pLimbs[0], 0)
+	d[1], borrow = bits.Sub64(c[1], pLimbs[1], borrow)
+	d[2], borrow = bits.Sub64(c[2], pLimbs[2], borrow)
+	d[3], borrow = bits.Sub64(c[3], pLimbs[3], borrow)
+	if carry != 0 || borrow == 0 {
+		*c = d
+	}
+}
+
+func gfpAdd(c, a, b *gfP) {
+	var carry uint64
+	c[0], carry = bits.Add64(a[0], b[0], 0)
+	c[1], carry = bits.Add64(a[1], b[1], carry)
+	c[2], carry = bits.Add64(a[2], b[2], carry)
+	c[3], carry = bits.Add64(a[3], b[3], carry)
+	gfpCarrySub(c, carry)
+}
+
+func gfpSub(c, a, b *gfP) {
+	var borrow uint64
+	c[0], borrow = bits.Sub64(a[0], b[0], 0)
+	c[1], borrow = bits.Sub64(a[1], b[1], borrow)
+	c[2], borrow = bits.Sub64(a[2], b[2], borrow)
+	c[3], borrow = bits.Sub64(a[3], b[3], borrow)
+	if borrow != 0 {
+		var carry uint64
+		c[0], carry = bits.Add64(c[0], pLimbs[0], 0)
+		c[1], carry = bits.Add64(c[1], pLimbs[1], carry)
+		c[2], carry = bits.Add64(c[2], pLimbs[2], carry)
+		c[3], _ = bits.Add64(c[3], pLimbs[3], carry)
+	}
+}
+
+func gfpNeg(c, a *gfP) {
+	if a.IsZero() {
+		*c = gfP{}
+		return
+	}
+	var borrow uint64
+	c[0], borrow = bits.Sub64(pLimbs[0], a[0], 0)
+	c[1], borrow = bits.Sub64(pLimbs[1], a[1], borrow)
+	c[2], borrow = bits.Sub64(pLimbs[2], a[2], borrow)
+	c[3], _ = bits.Sub64(pLimbs[3], a[3], borrow)
+}
+
+func gfpDouble(c, a *gfP) { gfpAdd(c, a, a) }
+
+// gfpMul sets c = a * b * R^-1 mod p using interleaved (CIOS) Montgomery
+// multiplication. p < 2^254 = R/4, so the running value stays below 2p and a
+// single conditional subtraction at the end fully reduces.
+func gfpMul(c, a, b *gfP) {
+	var t [4]uint64
+	var t4, t5 uint64
+	for i := 0; i < 4; i++ {
+		// t += a * b[i]
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a[j], b[i])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, carry, 0)
+			hi += cc
+			t[j] = lo
+			carry = hi
+		}
+		t4, t5 = bits.Add64(t4, carry, 0)
+
+		// t = (t + m*p) / 2^64 with m chosen so the low word cancels.
+		m := t[0] * np
+		hi, lo := bits.Mul64(m, pLimbs[0])
+		_, cc := bits.Add64(lo, t[0], 0)
+		carry = hi + cc
+		for j := 1; j < 4; j++ {
+			hi, lo := bits.Mul64(m, pLimbs[j])
+			var c2 uint64
+			lo, c2 = bits.Add64(lo, t[j], 0)
+			hi += c2
+			lo, c2 = bits.Add64(lo, carry, 0)
+			hi += c2
+			t[j-1] = lo
+			carry = hi
+		}
+		t[3], cc = bits.Add64(t4, carry, 0)
+		t4 = t5 + cc
+		t5 = 0
+	}
+	*c = gfP{t[0], t[1], t[2], t[3]}
+	gfpCarrySub(c, t4)
+}
+
+func gfpSquare(c, a *gfP) { gfpMul(c, a, a) }
+
+// --- methods ---
+
+func (e *gfP) Set(a *gfP) *gfP {
+	*e = *a
+	return e
+}
+
+func (e *gfP) SetZero() *gfP {
+	*e = gfP{}
+	return e
+}
+
+func (e *gfP) SetOne() *gfP {
+	*e = rOne
+	return e
+}
+
+func (e *gfP) IsZero() bool { return *e == gfP{} }
+
+func (e *gfP) IsOne() bool { return *e == rOne }
+
+func (e *gfP) Equal(a *gfP) bool { return *e == *a }
+
+// SetBig sets e to v mod p (Montgomery encoding).
+func (e *gfP) SetBig(v *big.Int) *gfP {
+	m := new(big.Int).Mod(v, P)
+	raw := gfP(limbsFromBig(m))
+	gfpMul(e, &raw, &r2)
+	return e
+}
+
+// SetInt64 sets e to the small integer v.
+func (e *gfP) SetInt64(v int64) *gfP { return e.SetBig(big.NewInt(v)) }
+
+// canonical returns the canonical (non-Montgomery) limbs of e.
+func (e *gfP) canonical() [4]uint64 {
+	var raw, one gfP
+	one[0] = 1
+	gfpMul(&raw, e, &one)
+	return [4]uint64(raw)
+}
+
+// Big returns the canonical value of e as a fresh big.Int (Montgomery
+// decoding).
+func (e *gfP) Big() *big.Int {
+	var buf [32]byte
+	e.Marshal(buf[:])
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// IsOdd reports the parity of the canonical value of e (the Bit(0) used by
+// the compressed encodings' sign flags).
+func (e *gfP) IsOdd() bool { return e.canonical()[0]&1 == 1 }
+
+// Marshal writes the canonical 32-byte big-endian encoding into out.
+func (e *gfP) Marshal(out []byte) {
+	raw := e.canonical()
+	for i := 0; i < 4; i++ {
+		v := raw[3-i]
+		for j := 7; j >= 0; j-- {
+			out[i*8+j] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Unmarshal decodes a canonical 32-byte big-endian value, rejecting
+// encodings >= p.
+func (e *gfP) Unmarshal(data []byte) error {
+	raw := gfP(limbsFromBytes(data))
+	// raw must be < p.
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		_, borrow = bits.Sub64(raw[i], pLimbs[i], borrow)
+	}
+	if borrow == 0 { // raw >= p
+		return ErrMalformedPoint
+	}
+	gfpMul(e, &raw, &r2)
+	return nil
+}
+
+func (e *gfP) Add(a, b *gfP) *gfP {
+	gfpAdd(e, a, b)
+	return e
+}
+
+func (e *gfP) Sub(a, b *gfP) *gfP {
+	gfpSub(e, a, b)
+	return e
+}
+
+func (e *gfP) Neg(a *gfP) *gfP {
+	gfpNeg(e, a)
+	return e
+}
+
+func (e *gfP) Double(a *gfP) *gfP {
+	gfpDouble(e, a)
+	return e
+}
+
+func (e *gfP) Mul(a, b *gfP) *gfP {
+	gfpMul(e, a, b)
+	return e
+}
+
+func (e *gfP) Square(a *gfP) *gfP {
+	gfpSquare(e, a)
+	return e
+}
+
+// Invert sets e = 1/a mod p. It panics on zero (division by zero in a
+// cryptographic computation is a programming error). The extended-Euclid
+// path through math/big is faster than a Fermat exponentiation chain and
+// runs only in inversion-bound spots (affine conversions, Miller-loop line
+// slopes), never per-multiplication.
+func (e *gfP) Invert(a *gfP) *gfP {
+	inv := new(big.Int).ModInverse(a.Big(), P)
+	if inv == nil {
+		panic("bn256: inverse of zero in Fp")
+	}
+	return e.SetBig(inv)
+}
+
+// Exp sets e = a^k by square-and-multiply (k is a non-negative canonical
+// exponent, not a field element).
+func (e *gfP) Exp(a *gfP, k *big.Int) *gfP {
+	sum := rOne
+	var t gfP
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		gfpSquare(&t, &sum)
+		if k.Bit(i) != 0 {
+			gfpMul(&sum, &t, a)
+		} else {
+			sum = t
+		}
+	}
+	*e = sum
+	return e
+}
+
+// Sqrt sets e to a square root of a and returns e, or returns nil if a is a
+// quadratic non-residue. p = 3 mod 4, so a^((p+1)/4) is a root whenever one
+// exists.
+func (e *gfP) Sqrt(a *gfP) *gfP {
+	var r, chk gfP
+	r.Exp(a, pPlus1Over4)
+	gfpSquare(&chk, &r)
+	if chk != *a {
+		return nil
+	}
+	*e = r
+	return e
+}
+
+func (e *gfP) String() string { return e.Big().String() }

@@ -3,28 +3,25 @@ package bn256
 import "math/big"
 
 // gfP12 implements the quadratic extension Fp12 = Fp6[omega]/(omega^2 - tau).
-// An element is x*omega + y.
+// An element is x*omega + y, with the gfP6 coefficients held inline: a gfP12
+// is 12 contiguous gfP limb groups with no pointer chasing.
 type gfP12 struct {
-	x, y *gfP6
+	x, y gfP6
 }
 
-func newGFp12() *gfP12 {
-	return &gfP12{x: newGFp6(), y: newGFp6()}
-}
+func newGFp12() *gfP12 { return &gfP12{} }
 
 func (e *gfP12) String() string {
 	return "(" + e.x.String() + "omega + " + e.y.String() + ")"
 }
 
 func (e *gfP12) Set(a *gfP12) *gfP12 {
-	e.x.Set(a.x)
-	e.y.Set(a.y)
+	*e = *a
 	return e
 }
 
 func (e *gfP12) SetZero() *gfP12 {
-	e.x.SetZero()
-	e.y.SetZero()
+	*e = gfP12{}
 	return e
 }
 
@@ -38,81 +35,109 @@ func (e *gfP12) IsZero() bool { return e.x.IsZero() && e.y.IsZero() }
 
 func (e *gfP12) IsOne() bool { return e.x.IsZero() && e.y.IsOne() }
 
-func (e *gfP12) Equal(a *gfP12) bool { return e.x.Equal(a.x) && e.y.Equal(a.y) }
+func (e *gfP12) Equal(a *gfP12) bool { return *e == *a }
 
 // Conjugate sets e to the conjugate of a over Fp6, which equals a^(p^6).
 func (e *gfP12) Conjugate(a *gfP12) *gfP12 {
-	e.x.Neg(a.x)
-	e.y.Set(a.y)
+	e.x.Neg(&a.x)
+	e.y.Set(&a.y)
 	return e
 }
 
 func (e *gfP12) Neg(a *gfP12) *gfP12 {
-	e.x.Neg(a.x)
-	e.y.Neg(a.y)
+	e.x.Neg(&a.x)
+	e.y.Neg(&a.y)
 	return e
 }
 
 // Frobenius sets e = a^p. omega^(p-1) = tau^((p-1)/2) = xi^((p-1)/6).
 func (e *gfP12) Frobenius(a *gfP12) *gfP12 {
-	e.x.Frobenius(a.x)
-	e.y.Frobenius(a.y)
-	e.x.MulGFP2(e.x, xiToPMinus1Over6)
+	e.x.Frobenius(&a.x)
+	e.y.Frobenius(&a.y)
+	e.x.MulGFP2(&e.x, xiToPMinus1Over6)
 	return e
 }
 
 // FrobeniusP2 sets e = a^(p^2); the omega coefficient is scaled by
 // xi^((p^2-1)/6), which lies in Fp.
 func (e *gfP12) FrobeniusP2(a *gfP12) *gfP12 {
-	e.x.FrobeniusP2(a.x)
-	e.y.FrobeniusP2(a.y)
-	e.x.MulScalar(e.x, xiToPSquaredMinus1Over6)
+	e.x.FrobeniusP2(&a.x)
+	e.y.FrobeniusP2(&a.y)
+	e.x.MulScalar(&e.x, &xiToPSquaredMinus1Over6)
 	return e
 }
 
 func (e *gfP12) Add(a, b *gfP12) *gfP12 {
-	e.x.Add(a.x, b.x)
-	e.y.Add(a.y, b.y)
+	e.x.Add(&a.x, &b.x)
+	e.y.Add(&a.y, &b.y)
 	return e
 }
 
 func (e *gfP12) Sub(a, b *gfP12) *gfP12 {
-	e.x.Sub(a.x, b.x)
-	e.y.Sub(a.y, b.y)
+	e.x.Sub(&a.x, &b.x)
+	e.y.Sub(&a.y, &b.y)
 	return e
 }
 
 // Mul sets e = a*b with omega^2 = tau:
 //
-//	(ax*w + ay)(bx*w + by) = (ax*by + ay*bx)w + (ay*by + tau*ax*bx)
+//	(ax*w + ay)(bx*w + by) = (ax*by + ay*bx)w + (ay*by + tau*ax*bx),
+//
+// with Karatsuba on the cross term: three gfP6 multiplications.
 func (e *gfP12) Mul(a, b *gfP12) *gfP12 {
-	tx := newGFp6().Mul(a.x, b.y)
-	t := newGFp6().Mul(a.y, b.x)
-	tx.Add(tx, t)
+	var v0, v1, tx, ty gfP6
+	v0.Mul(&a.x, &b.x)
+	v1.Mul(&a.y, &b.y)
 
-	ty := newGFp6().Mul(a.y, b.y)
-	t.Mul(a.x, b.x)
-	t.MulTau(t)
-	ty.Add(ty, t)
+	tx.Add(&a.x, &a.y)
+	ty.Add(&b.x, &b.y)
+	tx.Mul(&tx, &ty)
+	tx.Sub(&tx, &v0)
+	tx.Sub(&tx, &v1)
 
-	e.x.Set(tx)
-	e.y.Set(ty)
+	ty.MulTau(&v0)
+	ty.Add(&ty, &v1)
+
+	e.x = tx
+	e.y = ty
 	return e
 }
 
-func (e *gfP12) Square(a *gfP12) *gfP12 { return e.Mul(a, a) }
+// Square sets e = a^2 using the complex-squaring identity
+//
+//	(x*w + y)^2 = (2xy)w + (y^2 + tau*x^2),
+//	y^2 + tau*x^2 = (x + y)(y + tau*x) - xy - tau*(xy),
+//
+// two gfP6 multiplications instead of three.
+func (e *gfP12) Square(a *gfP12) *gfP12 {
+	var v0, t, ty gfP6
+	v0.Mul(&a.x, &a.y)
+
+	t.MulTau(&a.x)
+	t.Add(&t, &a.y)
+	ty.Add(&a.x, &a.y)
+	ty.Mul(&ty, &t)
+	ty.Sub(&ty, &v0)
+	t.MulTau(&v0)
+	ty.Sub(&ty, &t)
+
+	e.y = ty
+	e.x.Double(&v0)
+	return e
+}
 
 // Invert sets e = 1/a = (-ax*w + ay) / (ay^2 - tau*ax^2).
 func (e *gfP12) Invert(a *gfP12) *gfP12 {
-	t1 := newGFp6().Square(a.x)
-	t1.MulTau(t1)
-	t2 := newGFp6().Square(a.y)
-	t2.Sub(t2, t1)
-	t2.Invert(t2)
+	var t1, t2 gfP6
+	t1.Square(&a.x)
+	t1.MulTau(&t1)
+	t2.Square(&a.y)
+	t2.Sub(&t2, &t1)
+	t2.Invert(&t2)
 
-	e.x.Neg(a.x)
-	e.x.Mul(e.x, t2)
-	e.y.Mul(a.y, t2)
+	e.x.Neg(&a.x)
+	e.x.Mul(&e.x, &t2)
+	e.y.Mul(&a.y, &t2)
 	return e
 }
 

@@ -3,148 +3,157 @@ package bn256
 import "math/big"
 
 // gfP2 implements the quadratic extension Fp2 = Fp[i]/(i^2 + 1).
-// An element is x*i + y. The zero value is not valid; use newGFp2.
+// An element is x*i + y; both coefficients are Montgomery-form gfP values
+// held inline, so a gfP2 is 64 bytes with no indirection.
 type gfP2 struct {
-	x, y *big.Int
+	x, y gfP
 }
 
-func newGFp2() *gfP2 {
-	return &gfP2{x: new(big.Int), y: new(big.Int)}
-}
+func newGFp2() *gfP2 { return &gfP2{} }
 
 func (e *gfP2) String() string {
 	return "(" + e.x.String() + "i + " + e.y.String() + ")"
 }
 
 func (e *gfP2) Set(a *gfP2) *gfP2 {
-	e.x.Set(a.x)
-	e.y.Set(a.y)
+	*e = *a
 	return e
 }
 
 func (e *gfP2) SetZero() *gfP2 {
-	e.x.SetInt64(0)
-	e.y.SetInt64(0)
+	*e = gfP2{}
 	return e
 }
 
 func (e *gfP2) SetOne() *gfP2 {
-	e.x.SetInt64(0)
-	e.y.SetInt64(1)
+	e.x.SetZero()
+	e.y.SetOne()
 	return e
 }
 
 // SetScalar embeds a base-field element.
-func (e *gfP2) SetScalar(a *big.Int) *gfP2 {
-	e.x.SetInt64(0)
-	e.y.Mod(a, P)
+func (e *gfP2) SetScalar(a *gfP) *gfP2 {
+	e.x.SetZero()
+	e.y.Set(a)
 	return e
 }
 
-func (e *gfP2) IsZero() bool { return e.x.Sign() == 0 && e.y.Sign() == 0 }
-
-func (e *gfP2) IsOne() bool {
-	return e.x.Sign() == 0 && e.y.Cmp(bigOne) == 0
+// SetBigs sets e from canonical big.Int coefficients.
+func (e *gfP2) SetBigs(x, y *big.Int) *gfP2 {
+	e.x.SetBig(x)
+	e.y.SetBig(y)
+	return e
 }
 
-func (e *gfP2) Equal(a *gfP2) bool {
-	return e.x.Cmp(a.x) == 0 && e.y.Cmp(a.y) == 0
+// SetInt64s sets e from small integer coefficients.
+func (e *gfP2) SetInt64s(x, y int64) *gfP2 {
+	e.x.SetInt64(x)
+	e.y.SetInt64(y)
+	return e
 }
+
+func (e *gfP2) IsZero() bool { return e.x.IsZero() && e.y.IsZero() }
+
+func (e *gfP2) IsOne() bool { return e.x.IsZero() && e.y.IsOne() }
+
+func (e *gfP2) Equal(a *gfP2) bool { return *e == *a }
 
 // Conjugate sets e to the Fp2 conjugate of a: x*i + y -> -x*i + y.
 // This is also the p-power Frobenius on Fp2.
 func (e *gfP2) Conjugate(a *gfP2) *gfP2 {
-	e.y.Set(a.y)
-	e.x.Neg(a.x)
-	modP(e.x)
+	e.y.Set(&a.y)
+	gfpNeg(&e.x, &a.x)
 	return e
 }
 
 func (e *gfP2) Neg(a *gfP2) *gfP2 {
-	e.x.Neg(a.x)
-	modP(e.x)
-	e.y.Neg(a.y)
-	modP(e.y)
+	gfpNeg(&e.x, &a.x)
+	gfpNeg(&e.y, &a.y)
 	return e
 }
 
 func (e *gfP2) Add(a, b *gfP2) *gfP2 {
-	e.x.Add(a.x, b.x)
-	modP(e.x)
-	e.y.Add(a.y, b.y)
-	modP(e.y)
+	gfpAdd(&e.x, &a.x, &b.x)
+	gfpAdd(&e.y, &a.y, &b.y)
 	return e
 }
 
 func (e *gfP2) Sub(a, b *gfP2) *gfP2 {
-	e.x.Sub(a.x, b.x)
-	modP(e.x)
-	e.y.Sub(a.y, b.y)
-	modP(e.y)
+	gfpSub(&e.x, &a.x, &b.x)
+	gfpSub(&e.y, &a.y, &b.y)
 	return e
 }
 
 func (e *gfP2) Double(a *gfP2) *gfP2 {
-	e.x.Lsh(a.x, 1)
-	modP(e.x)
-	e.y.Lsh(a.y, 1)
-	modP(e.y)
+	gfpDouble(&e.x, &a.x)
+	gfpDouble(&e.y, &a.y)
 	return e
 }
 
 // Mul sets e = a*b:
 //
-//	(a.x*i + a.y)(b.x*i + b.y) = (a.x*b.y + a.y*b.x)i + (a.y*b.y - a.x*b.x).
+//	(a.x*i + a.y)(b.x*i + b.y) = (a.x*b.y + a.y*b.x)i + (a.y*b.y - a.x*b.x),
+//
+// computed with Karatsuba in three base-field multiplications:
+// the cross term a.x*b.y + a.y*b.x = (a.x+a.y)(b.x+b.y) - a.x*b.x - a.y*b.y.
 func (e *gfP2) Mul(a, b *gfP2) *gfP2 {
-	tx := new(big.Int).Mul(a.x, b.y)
-	t := new(big.Int).Mul(a.y, b.x)
-	tx.Add(tx, t)
+	var v0, v1, tx, ty gfP
+	gfpMul(&v0, &a.x, &b.x)
+	gfpMul(&v1, &a.y, &b.y)
 
-	ty := new(big.Int).Mul(a.y, b.y)
-	t.Mul(a.x, b.x)
-	ty.Sub(ty, t)
+	gfpAdd(&tx, &a.x, &a.y)
+	gfpAdd(&ty, &b.x, &b.y)
+	gfpMul(&tx, &tx, &ty)
+	gfpSub(&tx, &tx, &v0)
+	gfpSub(&tx, &tx, &v1)
 
-	e.x.Mod(tx, P)
-	e.y.Mod(ty, P)
+	gfpSub(&ty, &v1, &v0)
+
+	e.x = tx
+	e.y = ty
 	return e
 }
 
 // MulScalar sets e = a*b for a base-field scalar b.
-func (e *gfP2) MulScalar(a *gfP2, b *big.Int) *gfP2 {
-	tx := new(big.Int).Mul(a.x, b)
-	ty := new(big.Int).Mul(a.y, b)
-	e.x.Mod(tx, P)
-	e.y.Mod(ty, P)
+func (e *gfP2) MulScalar(a *gfP2, b *gfP) *gfP2 {
+	gfpMul(&e.x, &a.x, b)
+	gfpMul(&e.y, &a.y, b)
 	return e
 }
 
 // MulXi sets e = a*xi where xi = i+9.
 func (e *gfP2) MulXi(a *gfP2) *gfP2 {
 	// (x*i + y)(i + 9) = (9x + y)i + (9y - x)
-	tx := new(big.Int).Lsh(a.x, 3)
-	tx.Add(tx, a.x)
-	tx.Add(tx, a.y)
+	var tx, ty gfP
+	gfpDouble(&tx, &a.x)
+	gfpDouble(&tx, &tx)
+	gfpDouble(&tx, &tx)
+	gfpAdd(&tx, &tx, &a.x)
+	gfpAdd(&tx, &tx, &a.y)
 
-	ty := new(big.Int).Lsh(a.y, 3)
-	ty.Add(ty, a.y)
-	ty.Sub(ty, a.x)
+	gfpDouble(&ty, &a.y)
+	gfpDouble(&ty, &ty)
+	gfpDouble(&ty, &ty)
+	gfpAdd(&ty, &ty, &a.y)
+	gfpSub(&ty, &ty, &a.x)
 
-	e.x.Mod(tx, P)
-	e.y.Mod(ty, P)
+	e.x = tx
+	e.y = ty
 	return e
 }
 
 // Square sets e = a^2 = 2*x*y*i + (y+x)(y-x).
 func (e *gfP2) Square(a *gfP2) *gfP2 {
-	t1 := new(big.Int).Sub(a.y, a.x)
-	t2 := new(big.Int).Add(a.y, a.x)
-	ty := t1.Mul(t1, t2)
+	var t1, t2, tx gfP
+	gfpSub(&t1, &a.y, &a.x)
+	gfpAdd(&t2, &a.y, &a.x)
+	gfpMul(&t1, &t1, &t2)
 
-	tx := new(big.Int).Mul(a.x, a.y)
-	tx.Lsh(tx, 1)
+	gfpMul(&tx, &a.x, &a.y)
+	gfpDouble(&tx, &tx)
 
-	e.x.Mod(tx, P)
-	e.y.Mod(ty, P)
+	e.x = tx
+	e.y = t1
 	return e
 }
 
@@ -152,21 +161,17 @@ func (e *gfP2) Square(a *gfP2) *gfP2 {
 // cryptographic computation is a programming error, not an input error).
 func (e *gfP2) Invert(a *gfP2) *gfP2 {
 	// 1/(x*i + y) = (-x*i + y)/(x^2 + y^2)
-	t := new(big.Int).Mul(a.y, a.y)
-	t2 := new(big.Int).Mul(a.x, a.x)
-	t.Add(t, t2)
+	var t, t2 gfP
+	gfpMul(&t, &a.y, &a.y)
+	gfpMul(&t2, &a.x, &a.x)
+	gfpAdd(&t, &t, &t2)
 
-	inv := new(big.Int).ModInverse(t, P)
-	if inv == nil {
-		panic("bn256: inverse of zero in Fp2")
-	}
+	var inv gfP
+	inv.Invert(&t)
 
-	e.x.Neg(a.x)
-	e.x.Mul(e.x, inv)
-	modP(e.x)
-
-	e.y.Mul(a.y, inv)
-	modP(e.y)
+	gfpNeg(&e.x, &a.x)
+	gfpMul(&e.x, &e.x, &inv)
+	gfpMul(&e.y, &a.y, &inv)
 	return e
 }
 

@@ -17,17 +17,17 @@ func randGFp2(t *testing.T) *gfP2 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &gfP2{x: x, y: y}
+	return newGFp2().SetBigs(x, y)
 }
 
 func randGFp6(t *testing.T) *gfP6 {
 	t.Helper()
-	return &gfP6{x: randGFp2(t), y: randGFp2(t), z: randGFp2(t)}
+	return &gfP6{x: *randGFp2(t), y: *randGFp2(t), z: *randGFp2(t)}
 }
 
 func randGFp12(t *testing.T) *gfP12 {
 	t.Helper()
-	return &gfP12{x: randGFp6(t), y: randGFp6(t)}
+	return &gfP12{x: *randGFp6(t), y: *randGFp6(t)}
 }
 
 func TestGFp2Axioms(t *testing.T) {
@@ -203,12 +203,8 @@ func TestSqrtFp2(t *testing.T) {
 
 func TestQuickFp2MulCommutes(t *testing.T) {
 	f := func(ax, ay, bx, by int64) bool {
-		a := &gfP2{x: big.NewInt(ax), y: big.NewInt(ay)}
-		modP(a.x)
-		modP(a.y)
-		b := &gfP2{x: big.NewInt(bx), y: big.NewInt(by)}
-		modP(b.x)
-		modP(b.y)
+		a := newGFp2().SetInt64s(ax, ay)
+		b := newGFp2().SetInt64s(bx, by)
 		ab := newGFp2().Mul(a, b)
 		ba := newGFp2().Mul(b, a)
 		return ab.Equal(ba)

@@ -6,19 +6,6 @@ import (
 	"math/big"
 )
 
-// sqrtFp returns a square root of a modulo p, or nil if a is a non-residue.
-// p = 3 mod 4, so a^((p+1)/4) is a root whenever one exists.
-func sqrtFp(a *big.Int) *big.Int {
-	r := new(big.Int).Exp(a, pPlus1Over4, P)
-	check := new(big.Int).Mul(r, r)
-	modP(check)
-	am := new(big.Int).Mod(a, P)
-	if check.Cmp(am) != 0 {
-		return nil
-	}
-	return r
-}
-
 // sqrtFp2 returns a square root of a in Fp2, or nil if a is a non-residue.
 // It uses the classical "complex" method: with a = x*i + y and norm
 // N = x^2 + y^2, a root c = cx*i + cy satisfies cy^2 = (y ± sqrt(N))/2 and
@@ -27,46 +14,51 @@ func sqrtFp2(a *gfP2) *gfP2 {
 	if a.IsZero() {
 		return newGFp2()
 	}
-	if a.x.Sign() == 0 {
+	if a.x.IsZero() {
 		// a = y is a base-field element: either y is a residue, or
 		// -y is (then sqrt = sqrt(-y) * i since i^2 = -1).
-		if r := sqrtFp(a.y); r != nil {
-			return &gfP2{x: new(big.Int), y: r}
+		var r gfP
+		if r.Sqrt(&a.y) != nil {
+			out := newGFp2()
+			out.y.Set(&r)
+			return out
 		}
-		ny := new(big.Int).Neg(a.y)
-		modP(ny)
-		if r := sqrtFp(ny); r != nil {
-			return &gfP2{x: r, y: new(big.Int)}
+		var ny gfP
+		gfpNeg(&ny, &a.y)
+		if r.Sqrt(&ny) != nil {
+			out := newGFp2()
+			out.x.Set(&r)
+			return out
 		}
 		return nil
 	}
 
-	n := new(big.Int).Mul(a.x, a.x)
-	t := new(big.Int).Mul(a.y, a.y)
-	n.Add(n, t)
-	modP(n)
-	lambda := sqrtFp(n)
-	if lambda == nil {
+	var n, t, lambda gfP
+	gfpMul(&n, &a.x, &a.x)
+	gfpMul(&t, &a.y, &a.y)
+	gfpAdd(&n, &n, &t)
+	if lambda.Sqrt(&n) == nil {
 		return nil
 	}
 
-	twoInv := new(big.Int).ModInverse(big.NewInt(2), P)
+	var two, twoInv gfP
+	two.SetInt64(2)
+	twoInv.Invert(&two)
 	for _, sign := range []int{1, -1} {
-		l := new(big.Int).Set(lambda)
+		l := lambda
 		if sign < 0 {
-			l.Neg(l)
+			gfpNeg(&l, &l)
 		}
-		cy2 := new(big.Int).Add(a.y, l)
-		cy2.Mul(cy2, twoInv)
-		modP(cy2)
-		cy := sqrtFp(cy2)
-		if cy == nil || cy.Sign() == 0 {
+		var cy2, cy gfP
+		gfpAdd(&cy2, &a.y, &l)
+		gfpMul(&cy2, &cy2, &twoInv)
+		if cy.Sqrt(&cy2) == nil || cy.IsZero() {
 			continue
 		}
-		cx := new(big.Int).Lsh(cy, 1)
-		cx.ModInverse(cx, P)
-		cx.Mul(cx, a.x)
-		modP(cx)
+		var cx gfP
+		gfpDouble(&cx, &cy)
+		cx.Invert(&cx)
+		gfpMul(&cx, &cx, &a.x)
 		cand := &gfP2{x: cx, y: cy}
 		if newGFp2().Square(cand).Equal(a) {
 			return cand
@@ -101,24 +93,22 @@ func HashToG1(data []byte) *G1 {
 	var ctr [4]byte
 	for i := uint32(0); ; i++ {
 		binary.BigEndian.PutUint32(ctr[:], i)
-		x := hashToFp(append(ctr[:], data...), 0x01)
-		y2 := new(big.Int).Mul(x, x)
-		y2.Mul(y2, x)
-		y2.Add(y2, curveB)
-		modP(y2)
-		y := sqrtFp(y2)
-		if y == nil {
+		var x, y2, y gfP
+		x.SetBig(hashToFp(append(ctr[:], data...), 0x01))
+		gfpMul(&y2, &x, &x)
+		gfpMul(&y2, &y2, &x)
+		gfpAdd(&y2, &y2, &gfpCurveB)
+		if y.Sqrt(&y2) == nil {
 			continue
 		}
 		// Normalize the root choice deterministically: pick the
-		// lexicographically smaller of {y, p-y} unless the counter
-		// hash is odd.
-		ny := new(big.Int).Sub(P, y)
-		if y.Cmp(ny) > 0 {
+		// lexicographically smaller of {y, p-y}.
+		var ny gfP
+		gfpNeg(&ny, &y)
+		if y.Big().Cmp(ny.Big()) > 0 {
 			y = ny
 		}
-		p := &G1{p: newCurvePoint().SetAffine(x, y)}
-		return p
+		return &G1{p: newCurvePoint().SetAffine(&x, &y)}
 	}
 }
 
@@ -132,7 +122,10 @@ var (
 // a square on the twist, then clear the cofactor 2p - n. The result is
 // validated to have exact order n.
 func initGenerators() {
-	g1Gen = newCurvePoint().SetAffine(big.NewInt(1), big.NewInt(2))
+	var gx, gy gfP
+	gx.SetInt64(1)
+	gy.SetInt64(2)
+	g1Gen = newCurvePoint().SetAffine(&gx, &gy)
 	if !g1Gen.IsOnCurve() {
 		panic("bn256: G1 generator not on curve")
 	}
@@ -142,7 +135,7 @@ func initGenerators() {
 	}
 
 	for j := int64(0); ; j++ {
-		x := &gfP2{x: big.NewInt(j), y: big.NewInt(1)}
+		x := newGFp2().SetInt64s(j, 1)
 		y2 := newGFp2().Square(x)
 		y2.Mul(y2, x)
 		y2.Add(y2, twistB)

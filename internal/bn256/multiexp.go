@@ -1,10 +1,9 @@
 package bn256
 
-import "math/big"
-
-// msmWindowBits is the Pippenger bucket width. 8 bits is near optimal for
-// the multi-exponentiation sizes the auditing protocol uses (k = 100..500).
-const msmWindowBits = 8
+import (
+	"math/big"
+	"math/bits"
+)
 
 // MultiScalarMult sets e = sum_i scalars[i] * points[i] using Pippenger's
 // bucket method and returns e. It is the workhorse of both the prover
@@ -35,20 +34,28 @@ func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
 		return e
 	}
 
-	windows := (maxBits + msmWindowBits - 1) / msmWindowBits
-	numBuckets := 1 << msmWindowBits
+	c := msmWindowBits(len(points), maxBits)
+	windows := (maxBits + c - 1) / c
+	numBuckets := 1 << c
+
+	// Word views of the scalars, so digit extraction shifts whole words
+	// instead of assembling digits one Bit() call at a time.
+	words := make([][]big.Word, len(reduced))
+	for i, s := range reduced {
+		words[i] = s.Bits()
+	}
 
 	acc := newCurvePoint().SetInfinity()
 	buckets := make([]*curvePoint, numBuckets)
 	for w := windows - 1; w >= 0; w-- {
-		for i := 0; i < msmWindowBits; i++ {
+		for i := 0; i < c; i++ {
 			acc.Double(acc)
 		}
 		for i := range buckets {
 			buckets[i] = nil
 		}
-		for i, s := range reduced {
-			idx := scalarWindow(s, w)
+		for i := range words {
+			idx := scalarDigit(words[i], w*c, c)
 			if idx == 0 {
 				continue
 			}
@@ -73,12 +80,40 @@ func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
 	return e
 }
 
-// scalarWindow extracts the w-th msmWindowBits-wide digit of s.
-func scalarWindow(s *big.Int, w int) int {
-	out := 0
-	base := w * msmWindowBits
-	for i := 0; i < msmWindowBits; i++ {
-		out |= int(s.Bit(base+i)) << i
+// msmWindowBits picks the Pippenger bucket width for k points of maxBits-bit
+// scalars by minimizing the modeled cost
+//
+//	windows(c) * (k bucket adds + 2*2^c running-sum adds + c doublings),
+//
+// which tracks the ln-optimal window: small batches (the k=16 bisection
+// leaves of VerifyBatch) get a narrow window instead of paying the k=300
+// bucket cost, and very large batches widen beyond the old fixed 8.
+func msmWindowBits(k, maxBits int) int {
+	best, bestCost := 1, int64(1)<<62
+	for c := 1; c <= 16; c++ {
+		windows := int64((maxBits + c - 1) / c)
+		cost := windows * (int64(k) + int64(2)<<c + int64(c))
+		if cost < bestCost {
+			best, bestCost = c, cost
+		}
 	}
-	return out
+	return best
+}
+
+const wordBits = bits.UintSize
+
+// scalarDigit extracts the width-bit digit of the nat words starting at bit
+// position bit. width must be at most wordBits, so a digit spans at most two
+// words.
+func scalarDigit(words []big.Word, bit, width int) int {
+	idx := bit / wordBits
+	if idx >= len(words) {
+		return 0
+	}
+	shift := bit % wordBits
+	d := uint(words[idx]) >> shift
+	if rem := wordBits - shift; rem < width && idx+1 < len(words) {
+		d |= uint(words[idx+1]) << rem
+	}
+	return int(d & (1<<width - 1))
 }

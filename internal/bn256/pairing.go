@@ -1,7 +1,5 @@
 package bn256
 
-import "math/big"
-
 // This file implements the optimal ate pairing
 //
 //	e(P, Q) = f_{6u+2,Q}(P) * l_{[6u+2]Q, pi(Q)}(P) * l_{[6u+2]Q+pi(Q), -pi^2(Q)}(P)
@@ -19,115 +17,123 @@ import "math/big"
 // affTwist is an affine twist point used by the Miller loop. infinity is
 // tracked explicitly.
 type affTwist struct {
-	x, y     *gfP2
+	x, y     gfP2
 	infinity bool
 }
 
 func affFromTwist(t *twistPoint) *affTwist {
 	if t.IsInfinity() {
-		return &affTwist{x: newGFp2(), y: newGFp2(), infinity: true}
+		return &affTwist{infinity: true}
 	}
 	x, y := t.Affine()
-	return &affTwist{x: x, y: y}
+	a := &affTwist{}
+	a.x.Set(x)
+	a.y.Set(y)
+	return a
 }
 
 // lineEval builds the sparse Fp12 element a + b*w + c*w^3 with
 // a in Fp, b, c in Fp2. In the tower Fp12 = Fp6[w], Fp6 = Fp2[w^2]:
 // w^0 -> y.z, w^1 -> x.z, w^2 -> y.y, w^3 -> x.y.
-func lineEval(a *big.Int, b, c *gfP2) *gfP12 {
-	l := newGFp12()
+func lineEval(l *gfP12, a *gfP, b, c *gfP2) *gfP12 {
+	l.SetZero()
 	l.y.z.SetScalar(a)
 	l.x.z.Set(b)
 	l.x.y.Set(c)
 	return l
 }
 
-// lineDouble returns the tangent line at T evaluated at P and replaces T
-// with 2T (affine). If the tangent is vertical (yT = 0), it returns the
+// lineDouble writes the tangent line at T evaluated at P into l and replaces
+// T with 2T (affine). If the tangent is vertical (yT = 0), it returns the
 // vertical line and sets T to infinity.
-func lineDouble(t *affTwist, px, py *big.Int) *gfP12 {
+func lineDouble(l *gfP12, t *affTwist, px, py *gfP) *gfP12 {
 	if t.infinity {
-		one := newGFp12().SetOne()
-		return one
+		return l.SetOne()
 	}
 	if t.y.IsZero() {
-		l := verticalLine(t.x, px)
+		verticalLine(l, &t.x, px)
 		t.infinity = true
 		return l
 	}
 	// lambda = 3*xT^2 / (2*yT)
-	num := newGFp2().Square(t.x)
-	three := newGFp2().Double(num)
-	num.Add(three, num)
-	den := newGFp2().Double(t.y)
-	lambda := newGFp2().Invert(den)
-	lambda.Mul(lambda, num)
+	var num, den, lambda gfP2
+	num.Square(&t.x)
+	den.Double(&num)
+	num.Add(&den, &num)
+	den.Double(&t.y)
+	lambda.Invert(&den)
+	lambda.Mul(&lambda, &num)
 
-	l := lineFromSlope(lambda, t, px, py)
+	lineFromSlope(l, &lambda, t, px, py)
 
 	// x3 = lambda^2 - 2 xT ; y3 = lambda (xT - x3) - yT
-	x3 := newGFp2().Square(lambda)
-	tx2 := newGFp2().Double(t.x)
-	x3.Sub(x3, tx2)
-	y3 := newGFp2().Sub(t.x, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, t.y)
+	var x3, y3, tx2 gfP2
+	x3.Square(&lambda)
+	tx2.Double(&t.x)
+	x3.Sub(&x3, &tx2)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
 	t.x, t.y = x3, y3
 	return l
 }
 
-// lineAdd returns the chord line through T and Q evaluated at P and replaces
-// T with T+Q (affine). Degenerate cases (T = Q, T = -Q, infinities) fall
-// back to the tangent or the vertical line.
-func lineAdd(t *affTwist, q *affTwist, px, py *big.Int) *gfP12 {
+// lineAdd writes the chord line through T and Q evaluated at P into l and
+// replaces T with T+Q (affine). Degenerate cases (T = Q, T = -Q, infinities)
+// fall back to the tangent or the vertical line.
+func lineAdd(l *gfP12, t *affTwist, q *affTwist, px, py *gfP) *gfP12 {
 	if q.infinity {
-		return newGFp12().SetOne()
+		return l.SetOne()
 	}
 	if t.infinity {
-		t.x, t.y = newGFp2().Set(q.x), newGFp2().Set(q.y)
+		t.x.Set(&q.x)
+		t.y.Set(&q.y)
 		t.infinity = false
-		return newGFp12().SetOne()
+		return l.SetOne()
 	}
-	if t.x.Equal(q.x) {
-		if t.y.Equal(q.y) {
-			return lineDouble(t, px, py)
+	if t.x.Equal(&q.x) {
+		if t.y.Equal(&q.y) {
+			return lineDouble(l, t, px, py)
 		}
 		// T = -Q: vertical line, T becomes infinity.
-		l := verticalLine(t.x, px)
+		verticalLine(l, &t.x, px)
 		t.infinity = true
 		return l
 	}
 	// lambda = (yQ - yT) / (xQ - xT)
-	num := newGFp2().Sub(q.y, t.y)
-	den := newGFp2().Sub(q.x, t.x)
-	lambda := newGFp2().Invert(den)
-	lambda.Mul(lambda, num)
+	var num, den, lambda gfP2
+	num.Sub(&q.y, &t.y)
+	den.Sub(&q.x, &t.x)
+	lambda.Invert(&den)
+	lambda.Mul(&lambda, &num)
 
-	l := lineFromSlope(lambda, t, px, py)
+	lineFromSlope(l, &lambda, t, px, py)
 
-	x3 := newGFp2().Square(lambda)
-	x3.Sub(x3, t.x)
-	x3.Sub(x3, q.x)
-	y3 := newGFp2().Sub(t.x, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, t.y)
+	var x3, y3 gfP2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &q.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
 	t.x, t.y = x3, y3
 	return l
 }
 
 // lineFromSlope evaluates the line with slope lambda through T at P:
 // l = yP - lambda*xP*w + (lambda*xT - yT)*w^3.
-func lineFromSlope(lambda *gfP2, t *affTwist, px, py *big.Int) *gfP12 {
-	b := newGFp2().MulScalar(lambda, px)
-	b.Neg(b)
-	c := newGFp2().Mul(lambda, t.x)
-	c.Sub(c, t.y)
-	return lineEval(py, b, c)
+func lineFromSlope(l *gfP12, lambda *gfP2, t *affTwist, px, py *gfP) *gfP12 {
+	var b, c gfP2
+	b.MulScalar(lambda, px)
+	b.Neg(&b)
+	c.Mul(lambda, &t.x)
+	c.Sub(&c, &t.y)
+	return lineEval(l, py, &b, &c)
 }
 
 // verticalLine evaluates the vertical line x = xT at P: l = xP - xT*w^2.
-func verticalLine(xT *gfP2, px *big.Int) *gfP12 {
-	l := newGFp12()
+func verticalLine(l *gfP12, xT *gfP2, px *gfP) *gfP12 {
+	l.SetZero()
 	l.y.z.SetScalar(px)
 	l.y.y.Neg(xT)
 	return l
@@ -136,18 +142,21 @@ func verticalLine(xT *gfP2, px *big.Int) *gfP12 {
 // frobTwist computes pi(Q) = (conj(x)*xi^((p-1)/3), conj(y)*xi^((p-1)/2))
 // for an affine twist point.
 func frobTwist(q *affTwist) *affTwist {
-	x := newGFp2().Conjugate(q.x)
-	x.Mul(x, xiToPMinus1Over3)
-	y := newGFp2().Conjugate(q.y)
-	y.Mul(y, xiToPMinus1Over2)
-	return &affTwist{x: x, y: y}
+	r := &affTwist{}
+	r.x.Conjugate(&q.x)
+	r.x.Mul(&r.x, xiToPMinus1Over3)
+	r.y.Conjugate(&q.y)
+	r.y.Mul(&r.y, xiToPMinus1Over2)
+	return r
 }
 
 // negFrobTwistSquared computes -pi^2(Q) = (x*xi^((p^2-1)/3), y), using
 // xi^((p^2-1)/2) = -1 (validated at init).
 func negFrobTwistSquared(q *affTwist) *affTwist {
-	x := newGFp2().MulScalar(q.x, xiToPSquaredMinus1Over3)
-	return &affTwist{x: x, y: newGFp2().Set(q.y)}
+	r := &affTwist{}
+	r.x.MulScalar(&q.x, &xiToPSquaredMinus1Over3)
+	r.y.Set(&q.y)
+	return r
 }
 
 // miller computes the Miller loop value f_{6u+2,Q}(P) with the two optimal
@@ -159,20 +168,23 @@ func miller(q *twistPoint, c *curvePoint) *gfP12 {
 	}
 	px, py := c.Affine()
 	qa := affFromTwist(q)
-	t := &affTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
+	t := &affTwist{}
+	t.x.Set(&qa.x)
+	t.y.Set(&qa.y)
 
+	l := newGFp12()
 	for i := loopCount.BitLen() - 2; i >= 0; i-- {
 		f.Square(f)
-		f.Mul(f, lineDouble(t, px, py))
+		f.Mul(f, lineDouble(l, t, px, py))
 		if loopCount.Bit(i) != 0 {
-			f.Mul(f, lineAdd(t, qa, px, py))
+			f.Mul(f, lineAdd(l, t, qa, px, py))
 		}
 	}
 
 	q1 := frobTwist(qa)
 	q2 := negFrobTwistSquared(qa)
-	f.Mul(f, lineAdd(t, q1, px, py))
-	f.Mul(f, lineAdd(t, q2, px, py))
+	f.Mul(f, lineAdd(l, t, q1, px, py))
+	f.Mul(f, lineAdd(l, t, q2, px, py))
 	return f
 }
 

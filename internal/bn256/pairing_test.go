@@ -87,6 +87,25 @@ func TestPairingCheck(t *testing.T) {
 	}
 }
 
+func BenchmarkMillerLoop(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MillerLoop(p, q)
+	}
+}
+
+func BenchmarkFinalExponentiate(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	m := MillerLoop(p, q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FinalExponentiate(m)
+	}
+}
+
 func TestPairInfinity(t *testing.T) {
 	inf1 := new(G1).SetInfinity()
 	g2 := new(G2).ScalarBaseMult(big.NewInt(5))

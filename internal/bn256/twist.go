@@ -5,17 +5,13 @@ import "math/big"
 // twistPoint is a point on the sextic twist E': y^2 = x^3 + 3/xi over Fp2,
 // in Jacobian coordinates. z = 0 (both components) encodes infinity.
 type twistPoint struct {
-	x, y, z *gfP2
+	x, y, z gfP2
 }
 
-func newTwistPoint() *twistPoint {
-	return &twistPoint{x: newGFp2(), y: newGFp2(), z: newGFp2()}
-}
+func newTwistPoint() *twistPoint { return &twistPoint{} }
 
 func (t *twistPoint) Set(a *twistPoint) *twistPoint {
-	t.x.Set(a.x)
-	t.y.Set(a.y)
-	t.z.Set(a.z)
+	*t = *a
 	return t
 }
 
@@ -41,11 +37,12 @@ func (t *twistPoint) IsOnCurve() bool {
 		return true
 	}
 	x, y := t.Affine()
-	lhs := newGFp2().Square(y)
-	rhs := newGFp2().Square(x)
-	rhs.Mul(rhs, x)
-	rhs.Add(rhs, twistB)
-	return lhs.Equal(rhs)
+	var lhs, rhs gfP2
+	lhs.Square(y)
+	rhs.Square(x)
+	rhs.Mul(&rhs, x)
+	rhs.Add(&rhs, twistB)
+	return lhs.Equal(&rhs)
 }
 
 // Affine returns the affine coordinates of t. It panics on infinity.
@@ -53,11 +50,13 @@ func (t *twistPoint) Affine() (x, y *gfP2) {
 	if t.IsInfinity() {
 		panic("bn256: affine coordinates of the twist point at infinity")
 	}
-	zInv := newGFp2().Invert(t.z)
-	zInv2 := newGFp2().Square(zInv)
-	x = newGFp2().Mul(t.x, zInv2)
-	zInv2.Mul(zInv2, zInv)
-	y = newGFp2().Mul(t.y, zInv2)
+	var zInv, zInv2 gfP2
+	zInv.Invert(&t.z)
+	zInv2.Square(&zInv)
+	x, y = newGFp2(), newGFp2()
+	x.Mul(&t.x, &zInv2)
+	zInv2.Mul(&zInv2, &zInv)
+	y.Mul(&t.y, &zInv2)
 	return x, y
 }
 
@@ -77,15 +76,27 @@ func (t *twistPoint) Equal(a *twistPoint) bool {
 	if t.IsInfinity() || a.IsInfinity() {
 		return t.IsInfinity() == a.IsInfinity()
 	}
-	tx, ty := t.Affine()
-	ax, ay := a.Affine()
-	return tx.Equal(ax) && ty.Equal(ay)
+	// Cross-multiplied comparison, representation independent without
+	// inversions: x1*z2^2 == x2*z1^2 and y1*z2^3 == y2*z1^3.
+	var z1z1, z2z2, l, r gfP2
+	z1z1.Square(&t.z)
+	z2z2.Square(&a.z)
+	l.Mul(&t.x, &z2z2)
+	r.Mul(&a.x, &z1z1)
+	if !l.Equal(&r) {
+		return false
+	}
+	z1z1.Mul(&z1z1, &t.z)
+	z2z2.Mul(&z2z2, &a.z)
+	l.Mul(&t.y, &z2z2)
+	r.Mul(&a.y, &z1z1)
+	return l.Equal(&r)
 }
 
 func (t *twistPoint) Neg(a *twistPoint) *twistPoint {
-	t.x.Set(a.x)
-	t.y.Neg(a.y)
-	t.z.Set(a.z)
+	t.x.Set(&a.x)
+	t.y.Neg(&a.y)
+	t.z.Set(&a.z)
 	return t
 }
 
@@ -94,37 +105,37 @@ func (t *twistPoint) Double(a *twistPoint) *twistPoint {
 	if a.IsInfinity() {
 		return t.SetInfinity()
 	}
-	A := newGFp2().Square(a.x)
-	B := newGFp2().Square(a.y)
-	C := newGFp2().Square(B)
+	var A, B, C, d, e, f gfP2
+	A.Square(&a.x)
+	B.Square(&a.y)
+	C.Square(&B)
 
-	d := newGFp2().Add(a.x, B)
-	d.Square(d)
-	d.Sub(d, A)
-	d.Sub(d, C)
-	d.Double(d)
+	d.Add(&a.x, &B)
+	d.Square(&d)
+	d.Sub(&d, &A)
+	d.Sub(&d, &C)
+	d.Double(&d)
 
-	e := newGFp2().Double(A)
-	e.Add(e, A)
+	e.Double(&A)
+	e.Add(&e, &A)
 
-	f := newGFp2().Square(e)
+	f.Square(&e)
 
-	x3 := newGFp2().Double(d)
-	x3.Sub(f, x3)
+	var x3, y3, z3, c8 gfP2
+	x3.Double(&d)
+	x3.Sub(&f, &x3)
 
-	c8 := newGFp2().Double(C)
-	c8.Double(c8)
-	c8.Double(c8)
-	y3 := newGFp2().Sub(d, x3)
-	y3.Mul(y3, e)
-	y3.Sub(y3, c8)
+	c8.Double(&C)
+	c8.Double(&c8)
+	c8.Double(&c8)
+	y3.Sub(&d, &x3)
+	y3.Mul(&y3, &e)
+	y3.Sub(&y3, &c8)
 
-	z3 := newGFp2().Mul(a.y, a.z)
-	z3.Double(z3)
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
 
-	t.x.Set(x3)
-	t.y.Set(y3)
-	t.z.Set(z3)
+	t.x, t.y, t.z = x3, y3, z3
 	return t
 }
 
@@ -137,19 +148,20 @@ func (t *twistPoint) Add(a, b *twistPoint) *twistPoint {
 		return t.Set(a)
 	}
 
-	z1z1 := newGFp2().Square(a.z)
-	z2z2 := newGFp2().Square(b.z)
+	var z1z1, z2z2, u1, u2, s1, s2, h, r gfP2
+	z1z1.Square(&a.z)
+	z2z2.Square(&b.z)
 
-	u1 := newGFp2().Mul(a.x, z2z2)
-	u2 := newGFp2().Mul(b.x, z1z1)
+	u1.Mul(&a.x, &z2z2)
+	u2.Mul(&b.x, &z1z1)
 
-	s1 := newGFp2().Mul(a.y, b.z)
-	s1.Mul(s1, z2z2)
-	s2 := newGFp2().Mul(b.y, a.z)
-	s2.Mul(s2, z1z1)
+	s1.Mul(&a.y, &b.z)
+	s1.Mul(&s1, &z2z2)
+	s2.Mul(&b.y, &a.z)
+	s2.Mul(&s2, &z1z1)
 
-	h := newGFp2().Sub(u2, u1)
-	r := newGFp2().Sub(s2, s1)
+	h.Sub(&u2, &u1)
+	r.Sub(&s2, &s1)
 
 	if h.IsZero() {
 		if r.IsZero() {
@@ -157,34 +169,34 @@ func (t *twistPoint) Add(a, b *twistPoint) *twistPoint {
 		}
 		return t.SetInfinity()
 	}
-	r.Double(r)
+	r.Double(&r)
 
-	i := newGFp2().Double(h)
-	i.Square(i)
-	j := newGFp2().Mul(h, i)
+	var i, j, v gfP2
+	i.Double(&h)
+	i.Square(&i)
+	j.Mul(&h, &i)
 
-	v := newGFp2().Mul(u1, i)
+	v.Mul(&u1, &i)
 
-	x3 := newGFp2().Square(r)
-	x3.Sub(x3, j)
-	v2 := newGFp2().Double(v)
-	x3.Sub(x3, v2)
+	var x3, y3, z3, tmp gfP2
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	tmp.Double(&v)
+	x3.Sub(&x3, &tmp)
 
-	y3 := newGFp2().Sub(v, x3)
-	y3.Mul(y3, r)
-	sj := newGFp2().Mul(s1, j)
-	sj.Double(sj)
-	y3.Sub(y3, sj)
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	tmp.Mul(&s1, &j)
+	tmp.Double(&tmp)
+	y3.Sub(&y3, &tmp)
 
-	z3 := newGFp2().Add(a.z, b.z)
-	z3.Square(z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, z2z2)
-	z3.Mul(z3, h)
+	z3.Add(&a.z, &b.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.Mul(&z3, &h)
 
-	t.x.Set(x3)
-	t.y.Set(y3)
-	t.z.Set(z3)
+	t.x, t.y, t.z = x3, y3, z3
 	return t
 }
 

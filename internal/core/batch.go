@@ -199,7 +199,7 @@ func verifyTerms(terms []*batchTerm, stats *BatchStats) bool {
 			return false
 		}
 	}
-	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	g2 := bn256.GenG2()
 	acc := new(bn256.GT).SetOne()
 	rAgg := new(bn256.GT).SetOne()
 	sigmaAgg := new(bn256.G1).SetInfinity() // sum of weighted sigma terms

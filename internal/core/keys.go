@@ -101,7 +101,7 @@ func KeyGen(s int, r io.Reader) (*PrivateKey, error) {
 		pub.Powers[j] = new(bn256.G1).ScalarBaseMult(aj)
 		aj = ff.Mul(aj, alpha)
 	}
-	pub.EG1Eps = bn256.Pair(new(bn256.G1).ScalarBaseMult(big.NewInt(1)), pub.Epsilon)
+	pub.EG1Eps = bn256.Pair(bn256.GenG1(), pub.Epsilon)
 
 	return &PrivateKey{X: x, Alpha: alpha, Pub: pub}, nil
 }
@@ -184,7 +184,7 @@ func UnmarshalPublicKey(data []byte, withPrivacy bool) (*PublicKey, error) {
 			return nil, err
 		}
 	} else {
-		pk.EG1Eps = bn256.Pair(new(bn256.G1).ScalarBaseMult(big.NewInt(1)), pk.Epsilon)
+		pk.EG1Eps = bn256.Pair(bn256.GenG1(), pk.Epsilon)
 	}
 	return pk, nil
 }

@@ -66,7 +66,10 @@ func VerifyAuthenticators(pk *PublicKey, ef *EncodedFile, auths []*Authenticator
 			sample[i] = i
 		}
 	}
-	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	// The generator and the commitment scratch are loop invariant: one cached
+	// g2 (no per-sample ScalarBaseMult) and a single reused G1 accumulator.
+	g2 := bn256.GenG2()
+	commit := new(bn256.G1)
 	for _, i := range sample {
 		if i < 0 || i >= len(auths) {
 			return fmt.Errorf("%w: sample index %d out of range", ErrBadParameters, i)
@@ -74,12 +77,12 @@ func VerifyAuthenticators(pk *PublicKey, ef *EncodedFile, auths []*Authenticator
 		if auths[i].Index != i {
 			return fmt.Errorf("%w: authenticator at position %d has index %d", ErrBadParameters, i, auths[i].Index)
 		}
-		commit := new(bn256.G1).MultiScalarMult(pk.Powers, ef.Chunks[i].Coeffs)
+		commit.MultiScalarMult(pk.Powers, ef.Chunks[i].Coeffs)
 		commit.Add(commit, pk.blockTag(i))
 		// e(sigma, g2) * e(-commit, eps) == 1
-		neg := new(bn256.G1).Neg(commit)
+		commit.Neg(commit)
 		if !bn256.PairingCheck(
-			[]*bn256.G1{auths[i].Sigma, neg},
+			[]*bn256.G1{auths[i].Sigma, commit},
 			[]*bn256.G2{g2, pk.Epsilon},
 		) {
 			return fmt.Errorf("core: authenticator %d failed verification", i)
@@ -303,7 +306,7 @@ func VerifyPrivate(pk *PublicKey, d int, ch *Challenge, pr *PrivateProof) bool {
 // (e(a,Q)*e(b,Q) = e(a+b,Q) once final-exponentiated): three Miller loops
 // total. R == nil means the non-private form.
 func verifyEquation(pk *PublicKey, chiAgg *bn256.G1, r *big.Int, sigma *bn256.G1, y *big.Int, psi *bn256.G1, rCommit *bn256.GT) bool {
-	g2 := new(bn256.G2).ScalarBaseMult(big.NewInt(1))
+	g2 := bn256.GenG2()
 	epsTerm := new(bn256.G1).ScalarBaseMult(ff.Neg(y)) // g1^{-y}
 	epsTerm.Add(epsTerm, new(bn256.G1).Neg(chiAgg))    // * chi^{-1}
 	negPsi := new(bn256.G1).Neg(psi)

@@ -67,8 +67,14 @@ func Div(a, b *big.Int) *big.Int { return Mul(a, Inv(b)) }
 // Exp returns a^k mod n.
 func Exp(a, k *big.Int) *big.Int { return new(big.Int).Exp(a, k, mod) }
 
-// Equal reports whether a = b as field elements.
+// Equal reports whether a = b as field elements. Inputs already reduced into
+// [0, n) — the common case throughout the package, whose functions always
+// return reduced values — compare directly without allocating; only
+// out-of-range inputs pay for reduction copies.
 func Equal(a, b *big.Int) bool {
+	if a.Sign() >= 0 && b.Sign() >= 0 && a.Cmp(mod) < 0 && b.Cmp(mod) < 0 {
+		return a.Cmp(b) == 0
+	}
 	return new(big.Int).Mod(a, mod).Cmp(new(big.Int).Mod(b, mod)) == 0
 }
 

@@ -195,12 +195,15 @@ func Interpolate(xs, ys ff.Vector) (*Poly, error) {
 	if len(ys) != k {
 		return nil, fmt.Errorf("poly: %d abscissae but %d ordinates", k, len(ys))
 	}
+	// Duplicate abscissae make the system singular; detect them in O(k) by
+	// keying the canonical encoding instead of comparing all pairs.
+	seen := make(map[string]int, k)
 	for i := 0; i < k; i++ {
-		for j := i + 1; j < k; j++ {
-			if ff.Equal(xs[i], xs[j]) {
-				return nil, fmt.Errorf("poly: duplicate interpolation abscissa at %d and %d", i, j)
-			}
+		key := string(ff.Bytes(xs[i]))
+		if j, dup := seen[key]; dup {
+			return nil, fmt.Errorf("poly: duplicate interpolation abscissa at %d and %d", j, i)
 		}
+		seen[key] = i
 	}
 
 	result := Zero(k - 1)
