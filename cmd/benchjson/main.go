@@ -5,15 +5,34 @@
 //
 //	go test -run xxx -bench 'Pairing|MultiScalarMult' -benchtime 1x -json ./internal/bn256/ | benchjson > BENCH_pairing.json
 //
-// The output is a JSON object {"benchmarks": [{name, iterations, ns_per_op,
-// metrics}, ...]} sorted by benchmark name. Custom b.ReportMetric values
-// (gas, bytes, rounds/s, ...) are preserved under "metrics".
+// The output is a JSON object {"env": {...}, "benchmarks": [{name, procs,
+// iterations, ns_per_op, metrics}, ...]} sorted by benchmark name. Custom
+// b.ReportMetric values (gas, bytes, rounds/s, ...) are preserved under
+// "metrics"; benchmarks that report no custom metrics (and even a ns/op
+// that rounds to zero) are kept, not dropped. The env block carries the
+// run's GOMAXPROCS (recovered from the -N benchmark-name suffix), CPU
+// model, goos and goarch, so trajectory points from different runners are
+// comparable — the -N suffix itself is stripped from names and stored as
+// the per-benchmark "procs" field, letting a 1-core and an 8-core runner
+// produce the same benchmark names.
+//
+// Diff mode gates CI on perf regressions against a checked-in baseline
+// (flags come before the file arguments, as the flag package requires):
+//
+//	benchjson -diff -threshold 0.25 BENCH_baseline.json BENCH_fresh.json
+//
+// For every benchmark present in both documents it compares ns/op (higher
+// is a regression) and every shared "/s"-suffixed throughput metric (lower
+// is a regression); any relative regression beyond the threshold is
+// reported and the command exits non-zero.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -27,19 +46,95 @@ type event struct {
 	Package string `json:"Package"`
 }
 
+// Env describes the machine and runtime configuration a trajectory point
+// was produced on.
+type Env struct {
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+}
+
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
 	Package    string             `json:"package,omitempty"`
 	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Document is the trajectory file schema.
+type Document struct {
+	Env        Env         `json:"env,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
 func main() {
-	scanner := bufio.NewScanner(os.Stdin)
+	var (
+		diffMode  = flag.Bool("diff", false, "compare two trajectory JSON files instead of parsing a test2json stream")
+		threshold = flag.Float64("threshold", 0.25, "relative regression beyond which -diff fails (0.25 = 25%)")
+	)
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.25] <baseline.json> <fresh.json>")
+			os.Exit(2)
+		}
+		baseline, err := readDocument(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fresh, err := readDocument(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressions, compared := diffDocuments(baseline, fresh, *threshold)
+		fmt.Printf("benchjson: compared %d benchmarks present in both documents\n", compared)
+		for _, r := range regressions {
+			fmt.Println("REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			fmt.Printf("benchjson: %d regression(s) beyond %.0f%%\n", len(regressions), *threshold*100)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: no regressions")
+		return
+	}
+
+	doc, err := parseStream(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func readDocument(path string) (Document, error) {
+	var doc Document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	err = json.Unmarshal(data, &doc)
+	return doc, err
+}
+
+// parseStream consumes a test2json event stream and assembles the
+// trajectory document.
+func parseStream(r io.Reader) (Document, error) {
+	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var results []Benchmark
+	var doc Document
 	// go test emits a benchmark's name and its timing as separate output
 	// events ("BenchmarkFoo \t" then "  1\t 123 ns/op\n"), so reassemble
 	// complete lines per package before parsing.
@@ -58,37 +153,48 @@ func main() {
 			if nl < 0 {
 				break
 			}
-			if b, ok := parseBenchLine(buf[:nl+1]); ok {
-				b.Package = ev.Package
-				results = append(results, b)
-			}
+			line := buf[:nl]
 			buf = buf[nl+1:]
+			if b, ok := parseBenchLine(line); ok {
+				b.Package = ev.Package
+				doc.Benchmarks = append(doc.Benchmarks, b)
+				if b.Procs > doc.Env.GOMAXPROCS {
+					doc.Env.GOMAXPROCS = b.Procs
+				}
+				continue
+			}
+			// The preamble lines carry the runner environment.
+			switch {
+			case strings.HasPrefix(line, "goos: "):
+				doc.Env.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			case strings.HasPrefix(line, "goarch: "):
+				doc.Env.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			case strings.HasPrefix(line, "cpu: "):
+				doc.Env.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			}
 		}
 		partial[ev.Package] = buf
 	}
 	if err := scanner.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return doc, err
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Package != results[j].Package {
-			return results[i].Package < results[j].Package
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		if doc.Benchmarks[i].Package != doc.Benchmarks[j].Package {
+			return doc.Benchmarks[i].Package < doc.Benchmarks[j].Package
 		}
-		return results[i].Name < results[j].Name
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return doc, nil
 }
 
 // parseBenchLine parses a standard benchmark result line:
 //
 //	BenchmarkName-8    20    2292011 ns/op    12 gas    3.5 rounds/s
+//
+// Every value/unit pair must parse (anything else is test log output that
+// happens to start with "Benchmark", not a result line), but a benchmark
+// with zero custom metrics — even one whose ns/op rounds to zero — is kept.
 func parseBenchLine(line string) (Benchmark, bool) {
-	line = strings.TrimSuffix(line, "\n")
 	if !strings.HasPrefix(line, "Benchmark") {
 		return Benchmark{}, false
 	}
@@ -100,7 +206,8 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: fields[0], Iterations: iters}
+	name, procs := splitProcsSuffix(fields[0])
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
 	// The remainder alternates value/unit pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -117,5 +224,63 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 		b.Metrics[unit] = v
 	}
-	return b, b.NsPerOp != 0 || b.Metrics != nil
+	return b, true
+}
+
+// splitProcsSuffix strips the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names when N > 1 (so the same benchmark gets the same name on
+// every runner) and returns it separately. Names without the suffix ran at
+// GOMAXPROCS=1.
+func splitProcsSuffix(name string) (string, int) {
+	dash := strings.LastIndexByte(name, '-')
+	if dash < 0 {
+		return name, 1
+	}
+	procs, err := strconv.Atoi(name[dash+1:])
+	if err != nil || procs < 1 {
+		return name, 1
+	}
+	return name[:dash], procs
+}
+
+// diffDocuments compares fresh against baseline and describes every
+// throughput regression beyond threshold: a higher ns/op, or a lower value
+// of any shared "/s"-suffixed throughput metric (MB/s, rounds/s, ...).
+// Benchmarks present in only one document are ignored — the gate must not
+// fail when a benchmark is added or retired. It returns the regressions and
+// the number of benchmarks compared.
+func diffDocuments(baseline, fresh Document, threshold float64) (regressions []string, compared int) {
+	key := func(b Benchmark) string { return b.Package + " " + b.Name }
+	base := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[key(b)] = b
+	}
+	for _, nb := range fresh.Benchmarks {
+		ob, ok := base[key(nb)]
+		if !ok {
+			continue
+		}
+		compared++
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
+				key(nb), ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1)))
+		}
+		for unit, ov := range ob.Metrics {
+			if !strings.HasSuffix(unit, "/s") || ov <= 0 {
+				continue
+			}
+			nv, ok := nb.Metrics[unit]
+			if !ok {
+				continue
+			}
+			if nv < ov*(1-threshold) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f %s -> %.2f %s (%+.1f%%)",
+					key(nb), ov, unit, nv, unit, 100*(nv/ov-1)))
+			}
+		}
+	}
+	sort.Strings(regressions)
+	return regressions, compared
 }

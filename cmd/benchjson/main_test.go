@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream builds a minimal test2json event stream from raw output lines.
+func stream(pkg string, lines ...string) string {
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(`{"Action":"output","Package":"` + pkg + `","Output":"` + l + `\n"}` + "\n")
+	}
+	return sb.String()
+}
+
+func TestParseStreamEnvAndProcs(t *testing.T) {
+	in := stream("repro/internal/bn256",
+		"goos: linux",
+		"goarch: amd64",
+		"cpu: Intel(R) Xeon(R) CPU @ 2.20GHz",
+		"BenchmarkPairing-8 \\t      20\\t   2384506 ns/op",
+		"BenchmarkSetupParallel/workers=4-8 \\t 5\\t 100 ns/op\\t 12.5 MB/s",
+	)
+	doc, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env.GOOS != "linux" || doc.Env.GOARCH != "amd64" {
+		t.Fatalf("env not captured: %+v", doc.Env)
+	}
+	if !strings.Contains(doc.Env.CPU, "Xeon") {
+		t.Fatalf("cpu model not captured: %q", doc.Env.CPU)
+	}
+	if doc.Env.GOMAXPROCS != 8 {
+		t.Fatalf("gomaxprocs = %d, want 8", doc.Env.GOMAXPROCS)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	// Sorted by name; the -8 suffix must be stripped into procs.
+	if doc.Benchmarks[0].Name != "BenchmarkPairing" || doc.Benchmarks[0].Procs != 8 {
+		t.Fatalf("suffix not split: %+v", doc.Benchmarks[0])
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkSetupParallel/workers=4" {
+		t.Fatalf("sub-benchmark name mangled: %+v", doc.Benchmarks[1])
+	}
+	if doc.Benchmarks[1].Metrics["MB/s"] != 12.5 {
+		t.Fatalf("metric lost: %+v", doc.Benchmarks[1])
+	}
+}
+
+// TestParseStreamKeepsMetriclessBenchmarks pins the zero-custom-metrics
+// fix: a benchmark with no metrics and a ns/op that rounds to zero is kept.
+func TestParseStreamKeepsMetriclessBenchmarks(t *testing.T) {
+	in := stream("repro",
+		"BenchmarkTiny \\t 1000000000\\t 0.000 ns/op",
+		"BenchmarkNoSuffix \\t 10\\t 5 ns/op",
+		"BenchmarkSetup: 12 chunks ready",  // log line, not a result
+		"Benchmark fairness notes: 3 of 4", // prose, not a result
+	)
+	doc, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	if doc.Benchmarks[1].Procs != 1 {
+		t.Fatalf("suffixless benchmark procs = %d, want 1", doc.Benchmarks[1].Procs)
+	}
+	if doc.Env.GOMAXPROCS != 1 {
+		t.Fatalf("gomaxprocs = %d, want 1", doc.Env.GOMAXPROCS)
+	}
+}
+
+func TestSplitProcsSuffix(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkMultiScalarMult300", "BenchmarkMultiScalarMult300", 1},
+		{"BenchmarkFoo/s=100-16", "BenchmarkFoo/s=100", 16},
+		{"BenchmarkFoo/k=3-b", "BenchmarkFoo/k=3-b", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcsSuffix(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcsSuffix(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func bench(name string, ns float64, metrics map[string]float64) Benchmark {
+	return Benchmark{Package: "repro", Name: name, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+// TestDiffFailsOnInjectedRegression is the CI gate's own acceptance test:
+// an injected >25% ns/op slowdown and an injected >25% throughput drop are
+// both flagged, while benchmarks within the threshold, faster ones, and
+// ones present on only one side pass.
+func TestDiffFailsOnInjectedRegression(t *testing.T) {
+	baseline := Document{Benchmarks: []Benchmark{
+		bench("BenchmarkPairing", 1000, nil),
+		bench("BenchmarkSetup", 500, map[string]float64{"MB/s": 20}),
+		bench("BenchmarkSteady", 100, nil),
+		bench("BenchmarkFaster", 100, nil),
+		bench("BenchmarkRetired", 100, nil),
+	}}
+	fresh := Document{Benchmarks: []Benchmark{
+		bench("BenchmarkPairing", 1300, nil),                            // +30% ns/op: regression
+		bench("BenchmarkSetup", 500, map[string]float64{"MB/s": 14}),    // -30% MB/s: regression
+		bench("BenchmarkSteady", 110, nil),                              // +10%: within threshold
+		bench("BenchmarkFaster", 60, nil),                               // faster: fine
+		bench("BenchmarkAdded", 9999, map[string]float64{"MB/s": 0.01}), // new: ignored
+	}}
+	regressions, compared := diffDocuments(baseline, fresh, 0.25)
+	if compared != 4 {
+		t.Fatalf("compared %d benchmarks, want 4", compared)
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("flagged %d regressions, want 2: %v", len(regressions), regressions)
+	}
+	joined := strings.Join(regressions, "\n")
+	if !strings.Contains(joined, "BenchmarkPairing") || !strings.Contains(joined, "BenchmarkSetup") {
+		t.Fatalf("wrong benchmarks flagged: %v", regressions)
+	}
+}
+
+func TestDiffCleanRun(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		bench("BenchmarkPairing", 1000, map[string]float64{"MB/s": 20, "gas": 123}),
+	}}
+	regressions, compared := diffDocuments(doc, doc, 0.25)
+	if compared != 1 || len(regressions) != 0 {
+		t.Fatalf("identical documents flagged: compared=%d regressions=%v", compared, regressions)
+	}
+}

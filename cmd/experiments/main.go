@@ -34,8 +34,9 @@ type experiment struct {
 }
 
 type expCtx struct {
-	quick bool
-	out   *os.File
+	quick   bool
+	workers int // scheduler pipeline parallelism (0 = GOMAXPROCS)
+	out     *os.File
 }
 
 func (c *expCtx) printf(format string, args ...any) {
@@ -63,9 +64,10 @@ func main() {
 	log.SetFlags(0)
 	expName := flag.String("exp", "all", "experiment to run (or 'all' / 'list')")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	workers := flag.Int("workers", 0, "scheduler pipeline parallelism (0 = GOMAXPROCS); the scheduler experiment prints serial vs this")
 	flag.Parse()
 
-	ctx := &expCtx{quick: *quick, out: os.Stdout}
+	ctx := &expCtx{quick: *quick, workers: *workers, out: os.Stdout}
 
 	if *expName == "list" {
 		for _, e := range registry {

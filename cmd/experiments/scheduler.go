@@ -115,29 +115,48 @@ func runScheduler(ctx *expCtx) error {
 		return elapsed, passed, settleGas, nil
 	}
 
-	ppTime, ppPassed, ppGas, err := runSched(dsnaudit.WithPerProofVerification())
+	workers := ctx.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ppTime, ppPassed, ppGas, err := runSched(dsnaudit.WithPerProofVerification(),
+		dsnaudit.WithParallelism(workers))
+	if err != nil {
+		return err
+	}
+	// Serial vs parallel pipeline at equal work: parallelism 1 runs the
+	// same two-stage pipeline with one prove worker and serial
+	// verification, so the delta is pure multi-core speedup.
+	b1Time, b1Passed, _, err := runSched(dsnaudit.WithParallelism(1))
 	if err != nil {
 		return err
 	}
 	var stats core.BatchStats
-	bTime, bPassed, bGas, err := runSched(dsnaudit.WithVerifier(&dsnaudit.BatchVerifier{Stats: &stats}))
+	bTime, bPassed, bGas, err := runSched(
+		dsnaudit.WithVerifier(&dsnaudit.BatchVerifier{Stats: &stats}),
+		dsnaudit.WithParallelism(workers))
 	if err != nil {
 		return err
 	}
 
-	ctx.printf("%d engagements x %d rounds (s=%d, k=%d) on one chain, %d-core worker pool:\n",
-		owners, rounds, s, k, runtime.NumCPU())
-	ctx.printf("%-34s %-12s %-8s %-16s\n", "driver", "wall clock", "passed", "settle gas/round")
-	ctx.printf("%-34s %-12s %-8d %-16s\n", "sequential RunAll", fmtDur(seqTime), seqPassed, "-")
-	ctx.printf("%-34s %-12s %-8d %-16d\n", "Scheduler (per-proof settlement)", fmtDur(ppTime), ppPassed, ppGas)
-	ctx.printf("%-34s %-12s %-8d %-16d\n", "Scheduler (batched settlement)", fmtDur(bTime), bPassed, bGas)
-	ctx.printf("scheduler speedup over sequential: %.2fx (proof generation is the parallel fraction)\n",
+	ctx.printf("%d engagements x %d rounds (s=%d, k=%d) on one chain, %d-way pipeline (host: %d cores):\n",
+		owners, rounds, s, k, workers, runtime.NumCPU())
+	ctx.printf("%-38s %-12s %-8s %-16s\n", "driver", "wall clock", "passed", "settle gas/round")
+	ctx.printf("%-38s %-12s %-8d %-16s\n", "sequential RunAll", fmtDur(seqTime), seqPassed, "-")
+	ctx.printf("%-38s %-12s %-8d %-16d\n", "Scheduler (per-proof settlement)", fmtDur(ppTime), ppPassed, ppGas)
+	ctx.printf("%-38s %-12s %-8d %-16s\n", "Scheduler (batched, parallelism=1)", fmtDur(b1Time), b1Passed, "-")
+	ctx.printf("%-38s %-12s %-8d %-16d\n",
+		fmt.Sprintf("Scheduler (batched, parallelism=%d)", workers), fmtDur(bTime), bPassed, bGas)
+	ctx.printf("pipeline speedup, serial -> %d workers: %.2fx wall clock (%s -> %s)\n",
+		workers, float64(b1Time)/float64(bTime), fmtDur(b1Time), fmtDur(bTime))
+	ctx.printf("scheduler speedup over sequential: %.2fx (proof generation and settlement overlap)\n",
 		float64(seqTime)/float64(bTime))
 	ctx.printf("batched settlement: %d final exps / %d Miller loops for %d settled proofs "+
 		"(per-proof needs one final exp each)\n", stats.FinalExps, stats.MillerLoops, bPassed)
-	if seqPassed != ppPassed || seqPassed != bPassed {
-		return fmt.Errorf("drivers disagree: sequential %d, per-proof %d, batched %d",
-			seqPassed, ppPassed, bPassed)
+	if seqPassed != ppPassed || seqPassed != bPassed || seqPassed != b1Passed {
+		return fmt.Errorf("drivers disagree: sequential %d, per-proof %d, batched serial %d, batched %d",
+			seqPassed, ppPassed, b1Passed, bPassed)
 	}
 	return nil
 }

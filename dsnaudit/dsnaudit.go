@@ -25,14 +25,19 @@
 //   - Scheduler: the concurrent driver for the paper's real deployment
 //     shape (Section III-B: many owners x many providers on one chain).
 //     It subscribes to block events, wakes every registered engagement at
-//     its trigger height, fans the CPU-heavy proof generation out to a
-//     worker pool, and settles each block's proofs through a pluggable
+//     its trigger height, and runs a two-stage pipeline: proof generation
+//     fans out to a prove-worker pool, and each sealed block's proofs
+//     settle on a dedicated settlement stage through a pluggable
 //     Verifier — by default one batched pairing check sharing a single
 //     final exponentiation across the whole block (Section VII-D), with
-//     bisection isolating cheaters. Owner.EngageAll deploys one contract
-//     per share holder so a k-of-(k+m) erasure-coded file is audited on
-//     every holder at once. Accounting is keyed by Engagement.ID (the
-//     contract address).
+//     bisection isolating cheaters — so settlement of one tick overlaps
+//     proof generation of the next. WithParallelism(n) bounds the whole
+//     pipeline (prove workers and per-settlement verification goroutines;
+//     default GOMAXPROCS) and changes only wall clock, never outcomes:
+//     proofs, verdicts and slashing are identical at any parallelism.
+//     Owner.EngageAll deploys one contract per share holder so a
+//     k-of-(k+m) erasure-coded file is audited on every holder at once.
+//     Accounting is keyed by Engagement.ID (the contract address).
 //
 // All audit-path entry points take a context.Context for cancellation and
 // deadlines, failures surface as the sentinel errors in errors.go, and the

@@ -14,23 +14,40 @@ import (
 // Scheduler drives any number of engagements concurrently on one chain.
 // It is the block clock of the simulation: each scheduler tick mines one
 // block, the chain's subscription API delivers the block event, and every
-// registered engagement whose trigger height is reached is woken. The
-// CPU-heavy proof generation (the pairing step) fans out to a worker pool.
+// registered engagement whose trigger height is reached is woken.
 //
-// Settlement follows the two-phase submit/settle protocol: each proof that
-// lands in a tick is recorded cheaply on its contract (SubmitProof, no
-// pairing work), and once the whole block has landed the Verifier settles
-// it in one go — by default a single batched verification sharing one
-// final exponentiation across every proof in the block. Settlement stays
-// on the scheduler goroutine, per block, so contract state is
-// single-writer.
+// The CPU-heavy work runs as a two-stage pipeline. Stage one is the proof
+// pool: the tick's due challenges fan out to prove workers, and each proof
+// that lands is recorded cheaply on its contract (SubmitProof, calldata gas
+// only). Stage two is the settlement stage: once the tick's proofs are
+// sealed into a block, the whole block is handed to a dedicated settlement
+// goroutine, which produces the phase-2 verdicts (by default one batched
+// verification sharing a single final exponentiation, its Miller loops
+// spread across workers) while the main loop is already mining the next
+// tick and generating its proofs. Proof generation for tick T+1 therefore
+// overlaps settlement of tick T.
+//
+// The overlap never changes behavior. Settlement is pinned to the sealed
+// block's height (contract.SettleBatchAt), so audit triggers arm exactly as
+// they would inline; verdicts are recorded back into scheduler accounting
+// only at fixed join points of the main loop (after the next tick's proofs
+// are collected, or when no other engagement can make progress), so which
+// engagements a tick wakes never depends on how fast the settlement stage
+// ran; and every parallel crypto path is deterministic by construction.
+// Identical engagement outcomes — including slashing verdicts — at any
+// parallelism is the invariant SchedulerDeterminism tests pin down.
+//
+// Contract state stays single-writer throughout: the main loop owns a
+// contract from wake through proof submission, ownership passes to the
+// settlement stage for the verdict, and returns at the join point.
 //
 // The sequential Engagement.RunRound driver mines the chain itself and
 // therefore must not run concurrently with a Scheduler on the same chain.
 type Scheduler struct {
-	net      *Network
-	workers  int
-	verifier Verifier
+	net         *Network
+	workers     int // stage-1 proof-generation pool size
+	parallelism int // stage-2 settlement verification workers
+	verifier    Verifier
 
 	mu      sync.Mutex
 	running bool
@@ -52,6 +69,7 @@ type schedPhase int
 const (
 	phaseWaiting  schedPhase = iota // in AUDIT, waiting for the trigger height
 	phaseProving                    // challenge issued, proof job in flight
+	phaseSettling                   // proof sealed, verdict owned by the settlement stage
 	phaseDeadline                   // responder failed; waiting out the proof deadline
 	phaseDone                       // terminal
 )
@@ -73,11 +91,27 @@ type proofResult struct {
 	err   error
 }
 
+// settleJob is one sealed block handed to the settlement stage.
+type settleJob struct {
+	entries []*schedEntry
+	cs      []*contract.Contract
+	height  uint64 // the block height the settlement is pinned to
+}
+
+// settleOutcome is the settlement stage's answer for one block.
+type settleOutcome struct {
+	entries []*schedEntry
+	cs      []*contract.Contract
+	results []contract.SettleResult
+	err     error
+}
+
 // SchedulerOption customizes NewScheduler.
 type SchedulerOption func(*Scheduler)
 
-// WithWorkers sets the proof-generation worker pool size (default:
-// runtime.NumCPU()).
+// WithWorkers sets the stage-1 proof-generation worker pool size alone,
+// leaving settlement parallelism at its default. Use WithParallelism to
+// bound both stages together.
 func WithWorkers(n int) SchedulerOption {
 	return func(s *Scheduler) {
 		if n > 0 {
@@ -86,15 +120,30 @@ func WithWorkers(n int) SchedulerOption {
 	}
 }
 
+// WithParallelism bounds the scheduler's whole pipeline to n-way
+// parallelism: n proof-generation workers in stage one and n verification
+// goroutines inside each stage-2 settlement. The default is GOMAXPROCS.
+// Engagement outcomes are identical for every n; only wall clock changes.
+func WithParallelism(n int) SchedulerOption {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
+			s.parallelism = n
+		}
+	}
+}
+
 // NewScheduler creates a scheduler over the network's chain. Settlement
 // defaults to batched verification (one shared final exponentiation per
-// block); see WithVerifier and WithPerProofVerification.
+// block); see WithVerifier and WithPerProofVerification. Both pipeline
+// stages default to GOMAXPROCS-way parallelism; see WithParallelism.
 func NewScheduler(n *Network, opts ...SchedulerOption) *Scheduler {
 	s := &Scheduler{
-		net:      n,
-		workers:  runtime.NumCPU(),
-		verifier: &BatchVerifier{},
-		byID:     make(map[chain.Address]*schedEntry),
+		net:         n,
+		workers:     runtime.GOMAXPROCS(0),
+		parallelism: runtime.GOMAXPROCS(0),
+		verifier:    &BatchVerifier{},
+		byID:        make(map[chain.Address]*schedEntry),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -156,8 +205,10 @@ func (s *Scheduler) Results() map[chain.Address]Result {
 
 // Run executes the block loop until every registered engagement reaches a
 // terminal state or ctx is canceled. On cancellation it drains in-flight
-// proof jobs (responders see the canceled ctx) and returns ctx.Err();
-// contracts mid-round stay in PROVE and a later Run can resume them.
+// proof jobs (responders see the canceled ctx) and joins any in-flight
+// settlement — verdicts already computed are recorded, never dropped —
+// before returning ctx.Err(); contracts mid-round stay in PROVE or SETTLE
+// and a later Run resumes them.
 func (s *Scheduler) Run(ctx context.Context) error {
 	s.mu.Lock()
 	if s.running {
@@ -168,11 +219,11 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		// Entries interrupted mid-proof keep an open challenge (PROVE) or
+		// Entries interrupted mid-round keep an open challenge (PROVE) or
 		// a pending proof (SETTLE) on the contract; re-arm them so a later
 		// Run resumes from where they stopped.
 		for _, entry := range s.entries {
-			if entry.phase == phaseProving {
+			if entry.phase == phaseProving || entry.phase == phaseSettling {
 				entry.phase = phaseWaiting
 			}
 		}
@@ -183,13 +234,14 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	sub := s.net.Chain.Subscribe()
 	defer sub.Unsubscribe()
 
+	// Stage 1: the proof-generation pool.
 	jobs := make(chan proofJob)
 	results := make(chan proofResult)
-	var wg sync.WaitGroup
+	var proveWG sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
-		wg.Add(1)
+		proveWG.Add(1)
 		go func() {
-			defer wg.Done()
+			defer proveWG.Done()
 			for job := range jobs {
 				proof, err := job.entry.eng.Responder.Respond(ctx, job.entry.eng.Contract.Addr, job.ch)
 				results <- proofResult{entry: job.entry, proof: proof, err: err}
@@ -198,8 +250,40 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	}
 	defer func() {
 		close(jobs)
-		wg.Wait()
+		proveWG.Wait()
 	}()
+
+	// Stage 2: the settlement stage. At most one block is in flight (the
+	// main loop joins the previous settlement before sealing the next
+	// block), so the channels never back up.
+	settleJobs := make(chan settleJob, 1)
+	settleOutcomes := make(chan settleOutcome, 1)
+	var settleWG sync.WaitGroup
+	settleWG.Add(1)
+	go func() {
+		defer settleWG.Done()
+		for job := range settleJobs {
+			res, err := s.verifier.SettleBlock(job.cs, job.height, s.parallelism)
+			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, err: err}
+		}
+	}()
+	defer func() {
+		close(settleJobs)
+		settleWG.Wait()
+	}()
+
+	// joinSettle blocks until the in-flight settlement (if any) lands and
+	// records its verdicts. It is called at fixed points of the loop, so
+	// entry phases change at deterministic moments regardless of how fast
+	// the settlement stage actually ran.
+	outstanding := false
+	joinSettle := func() error {
+		if !outstanding {
+			return nil
+		}
+		outstanding = false
+		return s.recordSettlement(<-settleOutcomes)
+	}
 
 	for {
 		// The completion check holds the registration lock so that an Add
@@ -207,22 +291,44 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		// driven) or strictly after Run has returned (and waits for the
 		// next Run) — never silently dropped.
 		s.mu.Lock()
-		active := 0
+		active, settling := 0, 0
 		for _, entry := range s.entries {
-			if entry.phase != phaseDone {
+			switch entry.phase {
+			case phaseDone:
+			case phaseSettling:
+				active++
+				settling++
+			default:
 				active++
 			}
 		}
+		s.mu.Unlock()
 		if active == 0 {
-			// Flush the final tick's settlement transactions into blocks.
+			// All verdicts are in (settling entries count as active, so an
+			// in-flight settlement implies active > 0). Flush the final
+			// tick's settlement transactions into blocks.
+			if err := joinSettle(); err != nil {
+				return err
+			}
 			for s.net.Chain.PendingCount() > 0 {
 				s.net.Chain.MineBlock()
 			}
-			s.mu.Unlock()
 			return nil
 		}
-		s.mu.Unlock()
+		if active == settling {
+			// Every live engagement is awaiting its verdict: nothing can be
+			// woken until the settlement stage reports, so join it now
+			// rather than mining idle blocks. Deterministic: the condition
+			// depends only on entry phases, not on stage-2 timing.
+			if err := joinSettle(); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := ctx.Err(); err != nil {
+			if joinErr := joinSettle(); joinErr != nil {
+				return joinErr
+			}
 			return err
 		}
 
@@ -234,6 +340,9 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		case blk := <-sub.Blocks():
 			height = blk.Number
 		case <-ctx.Done():
+			if err := joinSettle(); err != nil {
+				return err
+			}
 			return ctx.Err()
 		}
 
@@ -244,10 +353,9 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		adopted := len(block)
 
 		// Fan the due proofs out to the pool. Each proof that lands is
-		// recorded cheaply on its contract (phase 1, no pairing work);
-		// the block settles as one batch once everything has landed.
-		// Submission and settlement stay on this goroutine: contract
-		// state is single-writer by construction.
+		// recorded cheaply on its contract (phase 1, no pairing work).
+		// Meanwhile the settlement stage may still be verifying the
+		// previous tick's block — that is the pipeline overlap.
 		inflight := 0
 		aborted := false
 		ctxDone := ctx.Done()
@@ -275,6 +383,13 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				ctxDone = nil
 			}
 		}
+		// Join the previous tick's settlement at this fixed point — its
+		// proofs are in, the next block is about to seal. Entries it
+		// settled re-enter scheduling at the next tick's wake, exactly as
+		// they would have under inline settlement.
+		if err := joinSettle(); err != nil {
+			return err
+		}
 		if aborted {
 			// Contracts already in SETTLE resume at the next Run's first
 			// tick (wake hands them straight back to the verifier).
@@ -292,8 +407,21 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 		}
-		if err := s.settleBlock(block); err != nil {
-			return err
+		if len(block) > 0 {
+			// Hand the sealed block to the settlement stage, pinned to the
+			// height its proofs are sealed at, and move on to the next
+			// tick without waiting for the verdicts.
+			s.mu.Lock()
+			for _, entry := range block {
+				entry.phase = phaseSettling
+			}
+			s.mu.Unlock()
+			cs := make([]*contract.Contract, len(block))
+			for i, entry := range block {
+				cs[i] = entry.eng.Contract
+			}
+			settleJobs <- settleJob{entries: block, cs: cs, height: s.net.Chain.Height()}
+			outstanding = true
 		}
 	}
 }
@@ -302,7 +430,8 @@ func (s *Scheduler) Run(ctx context.Context) error {
 // AUDIT whose trigger height is reached get a challenge issued and a proof
 // job prepared; engagements adopted with a proof already pending (SETTLE)
 // are queued for this tick's batched settlement; engagements waiting out a
-// proof deadline past their trigger are settled as missed.
+// proof deadline past their trigger are settled as missed. Entries owned by
+// the settlement stage (phaseSettling) are left untouched.
 func (s *Scheduler) wake(h uint64) (due []proofJob, block []*schedEntry) {
 	s.mu.Lock()
 	entries := append([]*schedEntry(nil), s.entries...)
@@ -383,35 +512,27 @@ func (s *Scheduler) submit(ctx context.Context, r proofResult) bool {
 	return true
 }
 
-// settleBlock runs phase 2 over every proof that landed this tick: the
-// Verifier produces the block's verdicts (by default one batched
-// verification with a single shared final exponentiation), and each verdict
-// lands payment, reputation and accounting.
-func (s *Scheduler) settleBlock(block []*schedEntry) error {
-	if len(block) == 0 {
-		return nil
+// recordSettlement lands one settled block's verdicts in the scheduler's
+// accounting: each verdict records payment, reputation and round counts, and
+// the entry returns from the settlement stage's ownership to the main
+// loop's. It runs on the main loop at the deterministic join points.
+func (s *Scheduler) recordSettlement(out settleOutcome) error {
+	if out.err != nil {
+		return out.err
 	}
-	cs := make([]*contract.Contract, len(block))
-	for i, entry := range block {
-		cs[i] = entry.eng.Contract
-	}
-	results, err := s.verifier.SettleBlock(cs)
-	if err != nil {
-		return err
-	}
-	if len(results) != len(block) {
-		return fmt.Errorf("%w: %d results for %d contracts", ErrVerifierMismatch, len(results), len(block))
+	if len(out.results) != len(out.entries) {
+		return fmt.Errorf("%w: %d results for %d contracts", ErrVerifierMismatch, len(out.results), len(out.entries))
 	}
 	// Results must come back in input order: a verifier that settles
 	// concurrently and returns them out of order would otherwise have one
 	// engagement's verdict silently recorded against another.
-	for i, res := range results {
-		if res.Addr != cs[i].Addr {
-			return fmt.Errorf("%w: result %d is for %s, want %s", ErrVerifierMismatch, i, res.Addr, cs[i].Addr)
+	for i, res := range out.results {
+		if res.Addr != out.cs[i].Addr {
+			return fmt.Errorf("%w: result %d is for %s, want %s", ErrVerifierMismatch, i, res.Addr, out.cs[i].Addr)
 		}
 	}
-	for i, res := range results {
-		entry, e := block[i], block[i].eng
+	for i, res := range out.results {
+		entry, e := out.entries[i], out.entries[i].eng
 		if res.Err != nil {
 			s.finish(entry, res.Err)
 			continue

@@ -254,8 +254,8 @@ func TestRunAllSettlesPendingProof(t *testing.T) {
 // mismatchVerifier violates the SettleBlock contract by dropping a result.
 type mismatchVerifier struct{}
 
-func (mismatchVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
-	results := contract.SettleBatch(cs, nil)
+func (mismatchVerifier) SettleBlock(cs []*contract.Contract, height uint64, workers int) ([]contract.SettleResult, error) {
+	results := contract.SettleBatchAt(cs, height, workers, nil)
 	return results[:len(results)-1], nil
 }
 
@@ -263,8 +263,8 @@ func (mismatchVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleR
 // number of results in the wrong order.
 type reorderVerifier struct{}
 
-func (reorderVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
-	results := contract.SettleBatch(cs, nil)
+func (reorderVerifier) SettleBlock(cs []*contract.Contract, height uint64, workers int) ([]contract.SettleResult, error) {
+	results := contract.SettleBatchAt(cs, height, workers, nil)
 	results[0], results[len(results)-1] = results[len(results)-1], results[0]
 	return results, nil
 }

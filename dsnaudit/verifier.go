@@ -7,17 +7,24 @@ import (
 
 // Verifier is the Scheduler's pluggable settlement strategy: at the end of
 // each tick, every contract whose proof landed in that block is handed over
-// for the phase-2 verdict. Implementations must return exactly one result
-// per contract, in input order.
+// for the phase-2 verdict. height is the block height the settlement is
+// pinned to (the proofs' inclusion block), so the next audit trigger arms
+// identically whether settlement runs inline or overlapped with the next
+// tick's proof generation; workers bounds the verification goroutines
+// (<= 0 selects GOMAXPROCS). Implementations must return exactly one result
+// per contract, in input order, and must not read the live chain head —
+// the scheduler keeps mining while a settlement is in flight.
 type Verifier interface {
 	// SettleBlock settles every contract in cs (all in the SETTLE phase).
-	SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error)
+	SettleBlock(cs []*contract.Contract, height uint64, workers int) ([]contract.SettleResult, error)
 }
 
 // BatchVerifier is the default strategy: the whole block settles through a
-// single contract.SettleBatch call — one shared final exponentiation across
-// every proof in the block, bisecting on failure so one cheater among N
-// honest providers is individually slashed while the rest settle as passed.
+// single contract.SettleBatchAt call — one shared final exponentiation
+// across every proof in the block, with the per-item Miller loops and term
+// preparation fanned out across the workers, bisecting on failure so one
+// cheater among N honest providers is individually slashed while the rest
+// settle as passed.
 type BatchVerifier struct {
 	// Stats, when non-nil, accumulates the pairing workload across blocks
 	// (final exponentiations and Miller loops), making the amortization
@@ -26,20 +33,21 @@ type BatchVerifier struct {
 }
 
 // SettleBlock settles the block with one batched verification.
-func (v *BatchVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
-	return contract.SettleBatch(cs, v.Stats), nil
+func (v *BatchVerifier) SettleBlock(cs []*contract.Contract, height uint64, workers int) ([]contract.SettleResult, error) {
+	return contract.SettleBatchAt(cs, height, workers, v.Stats), nil
 }
 
 // PerProofVerifier settles each contract with its own inline verification —
-// one final exponentiation per proof. It exists for debugging and parity
-// tests against the batched path; production settlements should batch.
+// one final exponentiation per proof, serially. It exists for debugging and
+// parity tests against the batched path; production settlements should
+// batch.
 type PerProofVerifier struct{}
 
 // SettleBlock settles each contract independently.
-func (PerProofVerifier) SettleBlock(cs []*contract.Contract) ([]contract.SettleResult, error) {
+func (PerProofVerifier) SettleBlock(cs []*contract.Contract, height uint64, workers int) ([]contract.SettleResult, error) {
 	out := make([]contract.SettleResult, len(cs))
 	for i, k := range cs {
-		passed, err := k.Settle()
+		passed, err := k.SettleAt(height)
 		out[i] = contract.SettleResult{Addr: k.Addr, Passed: passed, Err: err}
 	}
 	return out, nil

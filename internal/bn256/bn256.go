@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"math/big"
+
+	"repro/internal/parallel"
 )
 
 // Sizes of the fixed-length encodings produced by the Marshal and Compress
@@ -537,6 +539,35 @@ func MillerLoop(a *G1, b *G2) *GT {
 	a.ensure()
 	b.ensure()
 	return &GT{p: miller(b.p, a.p)}
+}
+
+// MillerBatch returns the product of the unreduced pairing values of all
+// (a[i], b[i]) pairs, evaluating the per-pair Miller loops across at most
+// workers goroutines (workers <= 0 selects GOMAXPROCS). The per-pair values
+// land in index-keyed slots and are multiplied together serially in index
+// order, so the product is identical to a loop of MillerLoop calls for any
+// worker count. Like MillerLoop, the result awaits FinalExponentiate — this
+// is how a batch verifier evaluates its 2N+1 loops on every core while still
+// paying for just one shared final exponentiation. len(a) must equal len(b).
+func MillerBatch(a []*G1, b []*G2, workers int) *GT {
+	if len(a) != len(b) {
+		panic("bn256: MillerBatch length mismatch")
+	}
+	// Materialize lazy internal points before the fan-out: ensure is the
+	// only input mutation, and the same point may appear in many pairs.
+	for i := range a {
+		a[i].ensure()
+		b[i].ensure()
+	}
+	partials := make([]*gfP12, len(a))
+	parallel.For(workers, len(a), func(i int) {
+		partials[i] = miller(b[i].p, a[i].p)
+	})
+	acc := newGFp12().SetOne()
+	for _, f := range partials {
+		acc.Mul(acc, f)
+	}
+	return &GT{p: acc}
 }
 
 // FinalExponentiate maps an unreduced pairing value into GT.

@@ -3,6 +3,8 @@ package bn256
 import (
 	"math/big"
 	"math/bits"
+
+	"repro/internal/parallel"
 )
 
 // MultiScalarMult sets e = sum_i scalars[i] * points[i] using Pippenger's
@@ -11,6 +13,20 @@ import (
 // k = 300 it is roughly 6x faster than k independent scalar
 // multiplications. len(points) must equal len(scalars).
 func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
+	return e.multiScalarMult(points, scalars, 1)
+}
+
+// MultiScalarMultParallel is MultiScalarMult with the per-window bucket
+// accumulation fanned out across at most workers goroutines (workers <= 0
+// selects GOMAXPROCS). Each of the ~maxBits/c windows is an independent
+// bucket pass over all the points; the window sums are combined serially in
+// window order, so the result is identical to the serial method for any
+// worker count.
+func (e *G1) MultiScalarMultParallel(points []*G1, scalars []*big.Int, workers int) *G1 {
+	return e.multiScalarMult(points, scalars, workers)
+}
+
+func (e *G1) multiScalarMult(points []*G1, scalars []*big.Int, workers int) *G1 {
 	if len(points) != len(scalars) {
 		panic("bn256: MultiScalarMult length mismatch")
 	}
@@ -45,15 +61,12 @@ func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
 		words[i] = s.Bits()
 	}
 
-	acc := newCurvePoint().SetInfinity()
-	buckets := make([]*curvePoint, numBuckets)
-	for w := windows - 1; w >= 0; w-- {
-		for i := 0; i < c; i++ {
-			acc.Double(acc)
-		}
-		for i := range buckets {
-			buckets[i] = nil
-		}
+	// Each window's bucket accumulation touches every point but no other
+	// window's state, so the windows fan out across the workers; the
+	// carry-dependent combine below stays serial.
+	windowSums := make([]*curvePoint, windows)
+	parallel.For(workers, windows, func(w int) {
+		buckets := make([]*curvePoint, numBuckets)
 		for i := range words {
 			idx := scalarDigit(words[i], w*c, c)
 			if idx == 0 {
@@ -74,7 +87,15 @@ func (e *G1) MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
 			}
 			windowSum.Add(windowSum, running)
 		}
-		acc.Add(acc, windowSum)
+		windowSums[w] = windowSum
+	})
+
+	acc := newCurvePoint().SetInfinity()
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			acc.Double(acc)
+		}
+		acc.Add(acc, windowSums[w])
 	}
 	e.p.Set(acc)
 	return e

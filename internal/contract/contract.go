@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // State is the contract's phase.
@@ -348,17 +349,26 @@ func (k *Contract) PendingItem() (*core.BatchItem, error) {
 // use SettleBatch, which shares one final exponentiation across all of
 // them.
 func (k *Contract) Settle() (bool, error) {
+	return k.SettleAt(k.Chain.Height())
+}
+
+// SettleAt is Settle with the settlement height pinned explicitly: the next
+// audit trigger arms relative to height instead of the live chain head. A
+// pipelined driver that keeps mining while earlier blocks settle passes the
+// settled block's inclusion height here, so the audit cadence is identical
+// whether settlement runs inline or overlapped.
+func (k *Contract) SettleAt(height uint64) (bool, error) {
 	item, err := k.PendingItem()
 	if err != nil {
 		if errors.Is(err, ErrMalformedProof) {
 			// A parse rejection never reaches the pairing step: the same
 			// no-gas slashing policy SettleBatch applies.
-			return false, k.applyVerdict(false, 0)
+			return false, k.applyVerdictAt(false, 0, height)
 		}
 		return false, err
 	}
 	passed := core.VerifyPrivate(item.Pub, item.NumChunks, item.Challenge, item.Proof)
-	return passed, k.applyVerdict(passed, k.verifyGas)
+	return passed, k.applyVerdictAt(passed, k.verifyGas, height)
 }
 
 // SettleResult reports one contract's outcome from a batched settlement.
@@ -382,7 +392,31 @@ type SettleResult struct {
 // cannot hide behind honest co-batched proofs — a failed batch always
 // bisects down to the genuine offender.
 func SettleBatch(cs []*Contract, stats *core.BatchStats) []SettleResult {
+	var height uint64
+	if len(cs) > 0 {
+		height = cs[0].Chain.Height()
+	}
+	return SettleBatchAt(cs, height, 0, stats)
+}
+
+// SettleBatchAt is SettleBatch with the settlement height pinned (see
+// SettleAt) and the verification workload bounded to workers goroutines
+// (<= 0 selects GOMAXPROCS): pending proofs parse in parallel across the
+// block and the batched verification fans its Miller loops and per-item
+// term preparation out via core.VerifyBatchParallel. Verdicts, result order
+// and the chain transaction sequence are identical at any worker count.
+func SettleBatchAt(cs []*Contract, height uint64, workers int, stats *core.BatchStats) []SettleResult {
 	results := make([]SettleResult, len(cs))
+	// Parse every pending proof in parallel: unmarshaling N private proofs
+	// (two group points and a GT element each) is the settle path's serial
+	// prefix. Verdict application below stays in input order.
+	parsed := make([]*core.BatchItem, len(cs))
+	parseErrs := make([]error, len(cs))
+	parallel.For(workers, len(cs), func(i int) {
+		if cs[i].state == StateSettle {
+			parsed[i], parseErrs[i] = cs[i].PendingItem()
+		}
+	})
 	var items []*core.BatchItem
 	var owners []int // position in cs of each batch item
 	for i, k := range cs {
@@ -391,17 +425,16 @@ func SettleBatch(cs []*Contract, stats *core.BatchStats) []SettleResult {
 			results[i].Err = fmt.Errorf("%w: %s", ErrWrongState, k.state)
 			continue
 		}
-		item, err := k.PendingItem()
-		if err != nil {
+		if parseErrs[i] != nil {
 			// Malformed proof: slashed without any pairing work.
 			results[i].Passed = false
-			results[i].Err = k.applyVerdict(false, 0)
+			results[i].Err = k.applyVerdictAt(false, 0, height)
 			continue
 		}
-		items = append(items, item)
+		items = append(items, parsed[i])
 		owners = append(owners, i)
 	}
-	verdicts := core.VerifyBatch(items, stats)
+	verdicts := core.VerifyBatchParallel(items, stats, workers)
 	for j, passed := range verdicts {
 		i := owners[j]
 		k := cs[i]
@@ -412,7 +445,7 @@ func SettleBatch(cs []*Contract, stats *core.BatchStats) []SettleResult {
 			gas = k.verifyGas
 		}
 		results[i].Passed = passed
-		results[i].Err = k.applyVerdict(passed, gas)
+		results[i].Err = k.applyVerdictAt(passed, gas, height)
 	}
 	return results
 }
@@ -435,10 +468,13 @@ func (k *Contract) settleGasShare(n int) uint64 {
 	return (k.verifyGas - fe) + fe/uint64(n)
 }
 
-// applyVerdict lands the settlement on chain: it records the round, charges
-// the settlement gas, releases the round payment or slashes the collateral,
-// and arms the next trigger (or terminates the contract).
-func (k *Contract) applyVerdict(passed bool, settleGas uint64) error {
+// applyVerdictAt lands the settlement on chain: it records the round,
+// charges the settlement gas, releases the round payment or slashes the
+// collateral, and arms the next trigger relative to the given settlement
+// height (or terminates the contract). Pinning the height — rather than
+// reading the live chain head — keeps the audit cadence deterministic when
+// settlement runs concurrently with block production.
+func (k *Contract) applyVerdictAt(passed bool, settleGas uint64, height uint64) error {
 	rcpt, err := k.Chain.Submit(&chain.Tx{
 		From:     k.Addr,
 		To:       k.Addr,
@@ -478,7 +514,7 @@ func (k *Contract) applyVerdict(passed bool, settleGas uint64) error {
 		return k.expire()
 	}
 	k.state = StateAudit
-	k.trigger = k.Chain.Height() + k.Terms.RoundInterval
+	k.trigger = height + k.Terms.RoundInterval
 	return k.payProvider()
 }
 

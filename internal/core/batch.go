@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bn256"
 	"repro/internal/ff"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 )
 
@@ -44,7 +45,7 @@ func BatchVerify(items []*BatchItem) bool {
 	if len(items) == 0 {
 		return true
 	}
-	return verifyTerms(prepareBatch(items), nil)
+	return verifyTerms(prepareBatch(items, 0), nil, 0)
 }
 
 // BatchStats counts the pairing workload of batched verification, the
@@ -66,13 +67,24 @@ type BatchStats struct {
 // challenge, the chi multi-scalar multiplication, and its weight — are
 // prepared once and shared by every bisection level, so re-verifying a
 // sub-batch costs only its Miller loops and one final exponentiation.
-// stats may be nil.
+// stats may be nil. VerifyBatch uses GOMAXPROCS workers; VerifyBatchParallel
+// exposes the worker count.
 func VerifyBatch(items []*BatchItem, stats *BatchStats) []bool {
+	return VerifyBatchParallel(items, stats, 0)
+}
+
+// VerifyBatchParallel is VerifyBatch with a bounded worker count (<= 0
+// selects GOMAXPROCS): the per-item term preparation (challenge expansion
+// and the chi multi-scalar multiplication) fans out across items, and every
+// (sub-)batch verification evaluates its Miller loops through
+// bn256.MillerBatch. Verdicts, stats counters and the bisection path are
+// identical at any worker count.
+func VerifyBatchParallel(items []*BatchItem, stats *BatchStats, workers int) []bool {
 	verdicts := make([]bool, len(items))
 	if len(items) == 0 {
 		return verdicts
 	}
-	bisect(prepareBatch(items), verdicts, stats, false)
+	bisect(prepareBatch(items, workers), verdicts, stats, false, workers)
 	return verdicts
 }
 
@@ -83,8 +95,8 @@ func VerifyBatch(items []*BatchItem, stats *BatchStats) []bool {
 // fail — a failed parent whose first half passes pins the failure in the
 // second half, so re-verifying that half as a whole would waste a final
 // exponentiation at every such level.
-func bisect(terms []*batchTerm, verdicts []bool, stats *BatchStats, knownBad bool) bool {
-	if !knownBad && verifyTerms(terms, stats) {
+func bisect(terms []*batchTerm, verdicts []bool, stats *BatchStats, knownBad bool, workers int) bool {
+	if !knownBad && verifyTerms(terms, stats, workers) {
 		for i := range verdicts {
 			verdicts[i] = true
 		}
@@ -95,8 +107,8 @@ func bisect(terms []*batchTerm, verdicts []bool, stats *BatchStats, knownBad boo
 		return false
 	}
 	mid := len(terms) / 2
-	leftOK := bisect(terms[:mid], verdicts[:mid], stats, false)
-	bisect(terms[mid:], verdicts[mid:], stats, leftOK)
+	leftOK := bisect(terms[:mid], verdicts[:mid], stats, false, workers)
+	bisect(terms[mid:], verdicts[mid:], stats, leftOK, workers)
 	return false
 }
 
@@ -153,17 +165,31 @@ type batchTerm struct {
 }
 
 // prepareBatch derives the whole-batch weights and precomputes every item's
-// pairing terms. An item whose challenge fails to expand is marked !ok and
-// fails its (sub-)batch without pairing work.
-func prepareBatch(items []*BatchItem) []*batchTerm {
+// pairing terms, fanning the independent per-item preparations (challenge
+// expansion, the chi multi-scalar multiplication, the weighted terms) across
+// at most workers goroutines. Terms land in index-keyed slots, so the result
+// is identical at any worker count. An item whose challenge fails to expand
+// is marked !ok and fails its (sub-)batch without pairing work.
+func prepareBatch(items []*BatchItem, workers int) []*batchTerm {
 	transcript := batchTranscript(items)
 	terms := make([]*batchTerm, len(items))
-	for bi, it := range items {
+	// When the batch is smaller than the worker budget (a one-engagement
+	// block settling a single proof, say), the across-items fan-out alone
+	// would leave cores idle, so the surplus goes to each item's chi — the
+	// k-point tag hashing and MSM that dominate preparation.
+	itemWorkers := 1
+	if n := len(items); n > 0 {
+		if budget := parallel.Workers(workers, 0); budget > n {
+			itemWorkers = (budget + n - 1) / n
+		}
+	}
+	parallel.For(workers, len(items), func(bi int) {
+		it := items[bi]
 		term := &batchTerm{}
 		terms[bi] = term
 		indices, coeffs, r, err := it.Challenge.Expand(it.NumChunks)
 		if err != nil {
-			continue
+			return
 		}
 		zeta := prf.OracleGT(it.Proof.R.Marshal())
 		rho := batchWeight(transcript, bi)
@@ -172,7 +198,7 @@ func prepareBatch(items []*BatchItem) []*batchTerm {
 		// The g1^{-rho*y'} and chi^{-zeta*rho} terms both pair against this
 		// item's eps: one merged Miller loop.
 		epsTerm := new(bn256.G1).ScalarBaseMult(ff.Neg(ff.Mul(rho, it.Proof.YPrime)))
-		x := chi(it.Pub, indices, coeffs)
+		x := chi(it.Pub, indices, coeffs, itemWorkers)
 		epsTerm.Add(epsTerm, new(bn256.G1).Neg(x.ScalarMult(x, zr)))
 
 		dEps := new(bn256.G2).ScalarMult(it.Pub.Epsilon, ff.Neg(r))
@@ -185,13 +211,16 @@ func prepareBatch(items []*BatchItem) []*batchTerm {
 		term.dEps = dEps
 		term.sigmaW = new(bn256.G1).ScalarMult(it.Proof.Sigma, zr)
 		term.rW = new(bn256.GT).ScalarMult(it.Proof.R, rho)
-	}
+	})
 	return terms
 }
 
 // verifyTerms checks one (sub-)batch of prepared terms: two Miller loops per
-// item, one shared sigma loop, one shared final exponentiation.
-func verifyTerms(terms []*batchTerm, stats *BatchStats) bool {
+// item, one shared sigma loop, one shared final exponentiation. The 2N+1
+// Miller loops evaluate across workers via bn256.MillerBatch; everything
+// else (the G1/GT accumulations and the final exponentiation) is serial and
+// order-fixed, so the verdict is identical at any worker count.
+func verifyTerms(terms []*batchTerm, stats *BatchStats, workers int) bool {
 	// A term whose challenge failed to expand fails the whole (sub-)batch:
 	// detect it before spending any Miller loops, at every bisection level.
 	for _, term := range terms {
@@ -199,30 +228,26 @@ func verifyTerms(terms []*batchTerm, stats *BatchStats) bool {
 			return false
 		}
 	}
-	g2 := bn256.GenG2()
-	acc := new(bn256.GT).SetOne()
 	rAgg := new(bn256.GT).SetOne()
 	sigmaAgg := new(bn256.G1).SetInfinity() // sum of weighted sigma terms
 
+	g1s := make([]*bn256.G1, 0, 2*len(terms)+1)
+	g2s := make([]*bn256.G2, 0, 2*len(terms)+1)
 	for _, term := range terms {
 		// Every item's sigma term pairs against the shared g2: accumulate
-		// in G1 and run a single Miller loop after the loop.
+		// in G1 so all of them collapse into a single shared Miller loop.
 		sigmaAgg.Add(sigmaAgg, term.sigmaW)
-
-		acc.Add(acc, bn256.MillerLoop(term.epsTerm, term.eps))
-		acc.Add(acc, bn256.MillerLoop(term.negPsi, term.dEps))
-		if stats != nil {
-			stats.MillerLoops += 2
-		}
-
 		rAgg.Add(rAgg, term.rW)
+		g1s = append(g1s, term.epsTerm, term.negPsi)
+		g2s = append(g2s, term.eps, term.dEps)
 	}
-	acc.Add(acc, bn256.MillerLoop(sigmaAgg, g2))
+	g1s = append(g1s, sigmaAgg)
+	g2s = append(g2s, bn256.GenG2())
 	if stats != nil {
-		stats.MillerLoops++
+		stats.MillerLoops += len(g1s)
 		stats.FinalExps++
 	}
-	res := bn256.FinalExponentiate(acc)
+	res := bn256.FinalExponentiate(bn256.MillerBatch(g1s, g2s, workers))
 	res.Add(res, rAgg)
 	return res.IsOne()
 }

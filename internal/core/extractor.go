@@ -62,7 +62,7 @@ func VerifyWithChallenge(pk *PublicKey, d int, ch *Challenge, pr *PrivateProof, 
 	if err != nil {
 		return false
 	}
-	x := chi(pk, indices, coeffs)
+	x := chi(pk, indices, coeffs, 0)
 	x.ScalarMult(x, zeta)
 	sigmaZ := new(bn256.G1).ScalarMult(pr.Sigma, zeta)
 	psiZ := new(bn256.G1).ScalarMult(pr.Psi, zeta)

@@ -2,51 +2,30 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/bn256"
+	"repro/internal/parallel"
 )
 
-// SetupParallel computes authenticators with a worker pool, matching the
-// paper's evaluation setting ("all our evaluation is carried out with
-// quad-core CPUs"). Chunks are independent, so the speedup is near-linear
-// in cores; the output is byte-identical to Setup.
+// SetupParallel computes authenticators with a bounded worker pool, matching
+// the paper's evaluation setting ("all our evaluation is carried out with
+// quad-core CPUs"). Chunks are independent and each authenticator lands in
+// its index-keyed slot, so the speedup is near-linear in cores and the
+// output is byte-identical to the serial computation at any worker count.
 //
-// workers <= 0 selects GOMAXPROCS.
+// workers <= 0 selects GOMAXPROCS. Setup is this function at the default
+// worker count.
 func SetupParallel(sk *PrivateKey, ef *EncodedFile, workers int) ([]*Authenticator, error) {
 	if ef.S != sk.Pub.S {
 		return nil, fmt.Errorf("%w: file encoded with s=%d but key has s=%d",
 			ErrBadParameters, ef.S, sk.Pub.S)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := ef.NumChunks()
-	if workers > n {
-		workers = n
-	}
-
-	auths := make([]*Authenticator, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				mAlpha := ef.Chunks[i].Eval(sk.Alpha)
-				base := new(bn256.G1).ScalarBaseMult(mAlpha)
-				base.Add(base, sk.Pub.blockTag(i))
-				auths[i] = &Authenticator{Index: i, Sigma: base.ScalarMult(base, sk.X)}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	auths := make([]*Authenticator, ef.NumChunks())
+	parallel.For(workers, len(auths), func(i int) {
+		mAlpha := ef.Chunks[i].Eval(sk.Alpha)
+		base := new(bn256.G1).ScalarBaseMult(mAlpha)
+		base.Add(base, sk.Pub.blockTag(i))
+		auths[i] = &Authenticator{Index: i, Sigma: base.ScalarMult(base, sk.X)}
+	})
 	return auths, nil
 }

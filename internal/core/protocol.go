@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bn256"
 	"repro/internal/ff"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/prf"
 )
@@ -32,20 +33,12 @@ func CloneAuthenticators(auths []*Authenticator) []*Authenticator {
 }
 
 // Setup computes the authenticators for every chunk of the encoded file.
-// This is the data owner's one-time preprocessing (the Fig. 7 workload).
+// This is the data owner's one-time preprocessing (the Fig. 7 workload) and
+// its dominant cost, so it fans the independent per-chunk computations out
+// across GOMAXPROCS workers; SetupParallel exposes the worker count, and the
+// output is byte-identical at any parallelism.
 func Setup(sk *PrivateKey, ef *EncodedFile) ([]*Authenticator, error) {
-	if ef.S != sk.Pub.S {
-		return nil, fmt.Errorf("%w: file encoded with s=%d but key has s=%d",
-			ErrBadParameters, ef.S, sk.Pub.S)
-	}
-	auths := make([]*Authenticator, ef.NumChunks())
-	for i, chunk := range ef.Chunks {
-		mAlpha := chunk.Eval(sk.Alpha)
-		base := new(bn256.G1).ScalarBaseMult(mAlpha)
-		base.Add(base, sk.Pub.blockTag(i))
-		auths[i] = &Authenticator{Index: i, Sigma: base.ScalarMult(base, sk.X)}
-	}
-	return auths, nil
+	return SetupParallel(sk, ef, 0)
 }
 
 // VerifyAuthenticators is the storage provider's acceptance check before it
@@ -159,6 +152,11 @@ type Prover struct {
 	Pub   *PublicKey
 	File  *EncodedFile
 	Auths []*Authenticator
+
+	// Workers bounds the goroutines used by the proof's multi-scalar
+	// multiplications (sigma and psi aggregation). 0 selects GOMAXPROCS;
+	// proofs are byte-identical at any setting.
+	Workers int
 }
 
 // NewProver validates dimensions and returns a Prover.
@@ -186,7 +184,7 @@ func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G
 	for j, idx := range indices {
 		pts[j] = p.Auths[idx].Sigma
 	}
-	sigma = new(bn256.G1).MultiScalarMult(pts, coeffs)
+	sigma = new(bn256.G1).MultiScalarMultParallel(pts, coeffs, p.Workers)
 	if stats != nil {
 		stats.ECC += time.Since(start)
 	}
@@ -208,7 +206,7 @@ func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G
 
 	// psi = g1^{Qk(alpha)} from the powers: ECC.
 	start = time.Now()
-	psi = new(bn256.G1).MultiScalarMult(p.Pub.Powers[:len(qk.Coeffs)], qk.Coeffs)
+	psi = new(bn256.G1).MultiScalarMultParallel(p.Pub.Powers[:len(qk.Coeffs)], qk.Coeffs, p.Workers)
 	if stats != nil {
 		stats.ECC += time.Since(start)
 	}
@@ -257,13 +255,15 @@ func (p *Prover) ProvePrivate(ch *Challenge, stats *ProveStats, rng io.Reader) (
 }
 
 // chi computes prod_i H(name||i)^{c_i} over the challenged indices: the
-// verifier-side aggregation both equations share.
-func chi(pk *PublicKey, indices []int, coeffs ff.Vector) *bn256.G1 {
+// verifier-side aggregation both equations share. The per-index tag hashing
+// and the multi-scalar multiplication both spread across workers (0 selects
+// GOMAXPROCS, 1 keeps the computation on the caller).
+func chi(pk *PublicKey, indices []int, coeffs ff.Vector, workers int) *bn256.G1 {
 	tags := make([]*bn256.G1, len(indices))
-	for j, idx := range indices {
-		tags[j] = pk.blockTag(idx)
-	}
-	return new(bn256.G1).MultiScalarMult(tags, coeffs)
+	parallel.For(workers, len(indices), func(j int) {
+		tags[j] = pk.blockTag(indices[j])
+	})
+	return new(bn256.G1).MultiScalarMultParallel(tags, coeffs, workers)
 }
 
 // Verify checks the non-private proof against Eq. 1:
@@ -277,7 +277,7 @@ func Verify(pk *PublicKey, d int, ch *Challenge, pr *Proof) bool {
 	if err != nil {
 		return false
 	}
-	x := chi(pk, indices, coeffs)
+	x := chi(pk, indices, coeffs, 0)
 	return verifyEquation(pk, x, r, pr.Sigma, pr.Y, pr.Psi, nil)
 }
 
@@ -290,7 +290,7 @@ func VerifyPrivate(pk *PublicKey, d int, ch *Challenge, pr *PrivateProof) bool {
 		return false
 	}
 	zeta := prf.OracleGT(pr.R.Marshal())
-	x := chi(pk, indices, coeffs)
+	x := chi(pk, indices, coeffs, 0)
 	x.ScalarMult(x, zeta)
 	sigmaZ := new(bn256.G1).ScalarMult(pr.Sigma, zeta)
 	psiZ := new(bn256.G1).ScalarMult(pr.Psi, zeta)

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, max},
+		{-3, 100, max},
+		{4, 100, 4},
+		{4, 2, 2},
+		{1, 0, 1},
+		{0, 0, max},
+		{8, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		For(workers, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran with zero items")
+	}
+}
+
+// TestForIndexedResultsDeterministic assembles an indexed result slice at
+// several worker counts and checks the outputs are identical — the ordering
+// property the crypto pipeline relies on.
+func TestForIndexedResultsDeterministic(t *testing.T) {
+	const n = 512
+	build := func(workers int) []int {
+		out := make([]int, n)
+		For(workers, n, func(i int) { out[i] = i * i })
+		return out
+	}
+	want := build(1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := build(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
