@@ -1,21 +1,39 @@
 // Command dsn-audit is an end-to-end CLI demonstration of the auditing
-// system on the simulated decentralized storage network: it builds a
-// network, outsources a file (from disk or generated), runs the negotiated
-// number of privacy-assured audit rounds, optionally injects provider
-// misbehaviour, and prints the complete on-chain audit trail with its gas
-// and dollar costs.
+// system on the simulated decentralized storage network. It has two modes.
+//
+// Audit mode (the default) builds a network, outsources a file (from disk
+// or generated), runs the negotiated number of privacy-assured audit
+// rounds, optionally injects provider misbehaviour, and prints the
+// complete on-chain audit trail with its gas and dollar costs. With
+// -remote, the storage providers are not simulated in-process: each listed
+// address must be a running `dsn-audit serve` provider, the audit state is
+// shipped to it over TCP, and every proof is fetched over the wire — a
+// provider that is down or too slow misses its round and is slashed.
+//
+// Serve mode runs one storage provider as a standalone networked process
+// speaking the internal/wire framed protocol.
 //
 // Usage:
 //
-//	go run ./cmd/dsn-audit [flags]
+//	dsn-audit [flags]                      run an audit (exit 1 if any round fails)
+//	dsn-audit serve -addr :7420 -name sp   run a provider server
 //
-//	-file path      file to outsource (default: 64 KiB of random data)
-//	-s int          chunk size in blocks (default 20)
-//	-k int          challenged chunks per round (default 300)
-//	-rounds int     audit rounds (default 5)
-//	-providers int  storage providers in the network (default 12)
-//	-corrupt int    corrupt the provider's data before this round (0 = never)
-//	-seed string    beacon seed for reproducible runs
+// Audit flags:
+//
+//	-file path       file to outsource (default: 64 KiB of random data)
+//	-s int           chunk size in blocks (default 20)
+//	-k int           challenged chunks per round (default 300)
+//	-rounds int      audit rounds (default 5)
+//	-providers int   storage providers in the network (default 12)
+//	-corrupt int     corrupt the provider's data before this round (0 = never; local only)
+//	-seed string     beacon seed for reproducible runs
+//	-remote list     comma-separated provider server addresses; one engagement each
+//	-call-timeout d  per-request deadline against remote providers (default 60s)
+//	-retries int     re-dial attempts per remote request (default 2)
+//
+// Exit status: 0 when every audit round passes, 1 when any round fails
+// verification or misses its deadline (the CI smoke tests gate on this),
+// 2 on operational errors.
 package main
 
 import (
@@ -25,83 +43,195 @@ import (
 	"fmt"
 	"log"
 	"math/big"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"repro/dsnaudit"
+	"repro/dsnaudit/remote"
 	"repro/internal/beacon"
+	"repro/internal/contract"
 	"repro/internal/cost"
 )
 
 func main() {
 	log.SetFlags(0)
-	// ^C cancels the audit loop cleanly mid-round.
+	// ^C cancels the audit loop (or drains the server) cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(ctx, os.Args[2:]))
+	}
+	os.Exit(runAudit(ctx, os.Args[1:]))
+}
+
+// fail reports an operational (non-verdict) error.
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "dsn-audit:", err)
+	return 2
+}
+
+// runServe runs one provider as a standalone networked node until the
+// context is canceled, then drains gracefully.
+func runServe(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		filePath  = flag.String("file", "", "file to outsource (default: random 64 KiB)")
-		chunkSize = flag.Int("s", 20, "chunk size in blocks")
-		k         = flag.Int("k", 300, "challenged chunks per round")
-		rounds    = flag.Int("rounds", 5, "audit rounds")
-		providers = flag.Int("providers", 12, "storage providers")
-		corruptAt = flag.Int("corrupt", 0, "corrupt data before this round (1-based; 0 = never)")
-		seed      = flag.String("seed", "", "beacon seed for reproducible runs")
+		addr    = fs.String("addr", "127.0.0.1:7420", "listen address (host:port; :0 picks a port)")
+		name    = fs.String("name", "provider", "provider node name (reported in the Hello handshake)")
+		workers = fs.Int("workers", 0, "proof workers per request (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	node := dsnaudit.NewProviderNode(*name)
+	node.Workers = *workers
+	srv := remote.NewServer(node)
+
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(ctx, *addr, ready) }()
+	select {
+	case bound := <-ready:
+		// The LISTEN line is machine-readable; scripts wait for it.
+		fmt.Printf("LISTEN %s\n", bound)
+		fmt.Printf("dsn-audit: provider %q serving on %s (wire v%d)\n", *name, bound, wireVersion())
+	case err := <-errCh:
+		return fail(err)
+	}
+	err := <-errCh
+	if err != nil && ctx.Err() == nil {
+		return fail(err)
+	}
+	fmt.Println("dsn-audit: server drained")
+	return 0
+}
+
+// wireVersion surfaces the framing version without importing wire all over
+// this file.
+func wireVersion() int { return remote.WireVersion }
+
+// auditConfig carries the parsed audit-mode flags.
+type auditConfig struct {
+	chunkSize   int
+	k           int
+	rounds      int
+	providers   int
+	corruptAt   int
+	remotes     []string
+	callTimeout time.Duration
+	retries     int
+}
+
+func runAudit(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("dsn-audit", flag.ExitOnError)
+	var (
+		filePath    = fs.String("file", "", "file to outsource (default: random 64 KiB)")
+		chunkSize   = fs.Int("s", 20, "chunk size in blocks")
+		k           = fs.Int("k", 300, "challenged chunks per round")
+		rounds      = fs.Int("rounds", 5, "audit rounds")
+		providers   = fs.Int("providers", 12, "storage providers")
+		corruptAt   = fs.Int("corrupt", 0, "corrupt data before this round (1-based; 0 = never; local mode only)")
+		seed        = fs.String("seed", "", "beacon seed for reproducible runs")
+		remotes     = fs.String("remote", "", "comma-separated provider server addresses (enables remote mode)")
+		callTimeout = fs.Duration("call-timeout", 60*time.Second, "per-request deadline against remote providers")
+		retries     = fs.Int("retries", 2, "re-dial attempts per remote request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := auditConfig{
+		chunkSize: *chunkSize, k: *k, rounds: *rounds, providers: *providers,
+		corruptAt: *corruptAt, callTimeout: *callTimeout, retries: *retries,
+	}
+	if *remotes != "" {
+		for _, a := range strings.Split(*remotes, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.remotes = append(cfg.remotes, a)
+			}
+		}
+	}
 
 	data := make([]byte, 64*1024)
 	if *filePath != "" {
 		var err error
 		data, err = os.ReadFile(*filePath)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	} else if _, err := rand.Read(data); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
 	var opts []dsnaudit.NetworkOption
 	if *seed != "" {
 		b, err := beacon.NewTrusted([]byte(*seed))
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		opts = append(opts, dsnaudit.WithBeacon(b))
 	}
 	net, err := dsnaudit.NewNetwork(opts...)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
-	for i := 0; i < *providers; i++ {
+	nProviders := cfg.providers
+	if nProviders < len(cfg.remotes) {
+		nProviders = len(cfg.remotes)
+	}
+	for i := 0; i < nProviders; i++ {
 		if _, err := net.AddProvider(fmt.Sprintf("sp-%02d", i), funds); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	}
-	owner, err := dsnaudit.NewOwner(net, "owner", *chunkSize, funds)
+	owner, err := dsnaudit.NewOwner(net, "owner", cfg.chunkSize, funds)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("outsourcing %d bytes (s=%d, 3-of-10 erasure coding) ...\n", len(data), *chunkSize)
+	fmt.Printf("outsourcing %d bytes (s=%d, 3-of-10 erasure coding) ...\n", len(data), cfg.chunkSize)
 	sf, err := owner.Outsource("cli-archive", data, 3, 7)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("  %d chunks, %.2f%% authenticator overhead, primary holder %s\n",
 		sf.Encoded.NumChunks(), 100*sf.Encoded.StorageOverheadRatio(), sf.Holders[0].Name)
 
-	terms := dsnaudit.DefaultTerms(*rounds)
-	terms.ChallengeSize = *k
+	terms := dsnaudit.DefaultTerms(cfg.rounds)
+	terms.ChallengeSize = cfg.k
+
+	var failedRounds int
+	if len(cfg.remotes) > 0 {
+		failedRounds, err = runRemoteAudit(ctx, net, owner, sf, terms, cfg)
+	} else {
+		failedRounds, err = runLocalAudit(ctx, net, owner, sf, terms, cfg, data, funds)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if failedRounds > 0 {
+		fmt.Printf("\nAUDIT FAILED: %d round(s) failed verification or missed the deadline\n", failedRounds)
+		return 1
+	}
+	fmt.Println("\naudit passed: every round verified")
+	return 0
+}
+
+// runLocalAudit drives one engagement against an in-process provider (the
+// original CLI behavior) and returns the number of failed rounds.
+func runLocalAudit(ctx context.Context, net *dsnaudit.Network, owner *dsnaudit.Owner, sf *dsnaudit.StoredFile, terms dsnaudit.EngagementTerms, cfg auditConfig, data []byte, funds *big.Int) (int, error) {
 	eng, err := owner.Engage(sf, sf.Holders[0], terms)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	fmt.Printf("contract %s live; on-chain key: %d bytes\n\n", eng.Contract.Addr, eng.Contract.StoredKeyBytes())
 
 	price := cost.PaperPrice()
-	for round := 1; round <= *rounds; round++ {
-		if *corruptAt == round {
+	failed := 0
+	for round := 1; round <= cfg.rounds; round++ {
+		if cfg.corruptAt == round {
 			if prover, ok := eng.Provider.Prover(eng.Contract.Addr); ok {
 				for c := 0; c < prover.File.NumChunks(); c++ {
 					prover.File.Corrupt(c, 0)
@@ -111,35 +241,129 @@ func main() {
 		}
 		ok, err := eng.RunRound(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return failed, err
 		}
 		rec := eng.Contract.Records()[round-1]
 		fmt.Printf("round %d: passed=%-5v proof=%dB gas=%d ($%.4f)\n",
 			round, ok, rec.ProofSize, rec.GasUsed, price.GasToUSD(rec.GasUsed))
 		if !ok {
+			failed++
 			fmt.Printf("         provider slashed; contract %v\n", eng.Contract.State())
 			break
 		}
 	}
 
 	fmt.Printf("\nfinal state: %v\n", eng.Contract.State())
+	printChainStats(net, owner, sf.Holders[0], funds)
+
+	back, err := owner.Retrieve(sf)
+	if err != nil {
+		return failed, fmt.Errorf("retrieval failed: %w", err)
+	}
+	intact := len(back) == len(data)
+	for i := 0; intact && i < len(back); i++ {
+		intact = back[i] == data[i]
+	}
+	fmt.Printf("storage-plane retrieval intact: %v\n", intact)
+	return failed, nil
+}
+
+// runRemoteAudit engages one contract per remote provider server, ships
+// each the audit state over TCP, and drives all engagements concurrently
+// through the Scheduler. A server that dies or stalls mid-run misses its
+// round and its engagement aborts with the provider slashed; the audit
+// keeps going for the rest. Returns the total number of failed rounds.
+func runRemoteAudit(ctx context.Context, net *dsnaudit.Network, owner *dsnaudit.Owner, sf *dsnaudit.StoredFile, terms dsnaudit.EngagementTerms, cfg auditConfig) (int, error) {
+	if len(cfg.remotes) > len(sf.Holders) {
+		return 0, fmt.Errorf("%d remote providers but the file has only %d share holders", len(cfg.remotes), len(sf.Holders))
+	}
+	sched := dsnaudit.NewScheduler(net)
+	engs := make([]*dsnaudit.Engagement, 0, len(cfg.remotes))
+	clients := make([]*remote.Client, 0, len(cfg.remotes))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i, addr := range cfg.remotes {
+		client := remote.NewClient(addr,
+			remote.WithCallTimeout(cfg.callTimeout),
+			remote.WithRetries(cfg.retries))
+		clients = append(clients, client)
+		holder := sf.Holders[i]
+		eng, err := owner.EngageWith(ctx, sf, holder, client, terms)
+		if err != nil {
+			return 0, fmt.Errorf("engage %s via %s: %w", holder.Name, addr, err)
+		}
+		fmt.Printf("contract %s live; provider served from %s\n", eng.Contract.Addr, addr)
+		engs = append(engs, eng)
+		if err := sched.Add(eng); err != nil {
+			return 0, err
+		}
+	}
+
+	fmt.Printf("\nrunning %d engagements x %d rounds against live servers ...\n", len(engs), cfg.rounds)
+	// Stream settlement progress while the scheduler runs: scripts (the CI
+	// smoke test kills a provider mid-run) key off these lines.
+	runErr := make(chan error, 1)
+	go func() { runErr <- sched.Run(ctx) }()
+	total := len(engs) * cfg.rounds
+	reported := 0
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for done := false; !done; {
+		select {
+		case err := <-runErr:
+			if err != nil {
+				return 0, err
+			}
+			done = true
+		case <-ticker.C:
+		}
+		settled := 0
+		for _, res := range sched.Results() {
+			settled += res.Rounds
+		}
+		if settled > reported {
+			reported = settled
+			fmt.Printf("progress: %d/%d rounds settled\n", settled, total)
+		}
+	}
+
+	price := cost.PaperPrice()
+	failed, passed := 0, 0
+	for i, eng := range engs {
+		res, _ := sched.Result(eng.ID())
+		failed += res.Failed
+		passed += res.Passed
+		fmt.Printf("\nengagement %s via %s:\n", eng.Contract.Addr, cfg.remotes[i])
+		for _, rec := range eng.Contract.Records() {
+			fmt.Printf("  round %d: passed=%-5v proof=%dB gas=%d ($%.4f)\n",
+				rec.Round+1, rec.Passed, rec.ProofSize, rec.GasUsed, price.GasToUSD(rec.GasUsed))
+		}
+		state := eng.Contract.State()
+		fmt.Printf("  state=%v rounds=%d passed=%d failed=%d\n", state, res.Rounds, res.Passed, res.Failed)
+		if state == contract.StateAborted {
+			fmt.Printf("  provider %s slashed (missed or failed a round)\n", eng.Provider.Name)
+		}
+		if res.Err != nil {
+			fmt.Printf("  engagement error: %v\n", res.Err)
+			failed++
+		}
+	}
+	fmt.Printf("\naudit summary: %d engagements, %d rounds settled, %d passed, %d failed\n",
+		len(engs), passed+failed, passed, failed)
+	fmt.Printf("chain: %d blocks, %d bytes, %d gas total\n",
+		net.Chain.Height(), net.Chain.TotalBytes(), net.Chain.TotalGas())
+	return failed, nil
+}
+
+// printChainStats prints the shared footer of the local mode.
+func printChainStats(net *dsnaudit.Network, owner *dsnaudit.Owner, provider *dsnaudit.ProviderNode, funds *big.Int) {
 	fmt.Printf("chain: %d blocks, %d bytes, %d gas total\n",
 		net.Chain.Height(), net.Chain.TotalBytes(), net.Chain.TotalGas())
 	fmt.Printf("owner balance delta: %s wei\n",
 		new(big.Int).Sub(net.Chain.Balance(owner.Address()), funds))
 	fmt.Printf("provider balance delta: %s wei\n",
-		new(big.Int).Sub(net.Chain.Balance(sf.Holders[0].Address()), funds))
-
-	back, err := owner.Retrieve(sf)
-	if err != nil {
-		log.Fatalf("retrieval failed: %v", err)
-	}
-	intact := len(back) == len(data)
-	for i := range back {
-		if back[i] != data[i] {
-			intact = false
-			break
-		}
-	}
-	fmt.Printf("storage-plane retrieval intact: %v\n", intact)
+		new(big.Int).Sub(net.Chain.Balance(provider.Address()), funds))
 }

@@ -2,6 +2,7 @@ package dsnaudit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -53,6 +54,17 @@ func (e *Engagement) ID() chain.Address { return e.Contract.Addr }
 // deploy, post parameters (Fig. 4's one-time cost), provider-side
 // authenticator validation, acknowledgment, and deposit freezing.
 func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (*Engagement, error) {
+	return o.EngageWith(context.Background(), sf, p, p, terms)
+}
+
+// EngageWith is Engage with the provider's transport made explicit: the
+// contract binds p's on-chain identity (its address, deposits and
+// reputation), while the audit-data handoff and every subsequent challenge
+// go through t — the node itself for an in-process provider, a
+// remote.Client for a provider serving from another OS process, or a fault
+// injector. ctx bounds the off-chain handoff; a transport failure there
+// surfaces before any deposit is frozen.
+func (o *Owner) EngageWith(ctx context.Context, sf *StoredFile, p *ProviderNode, t ProviderTransport, terms EngagementTerms) (*Engagement, error) {
 	if terms.Rounds < 1 {
 		return nil, fmt.Errorf("%w: at least one audit round required", ErrInvalidTerms)
 	}
@@ -78,16 +90,24 @@ func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (
 	if err := k.Negotiate(); err != nil {
 		return nil, err
 	}
-	// Off-chain: hand the data and authenticators to the provider, which
-	// validates before acknowledging on chain.
-	if err := p.AcceptAuditData(addr, o.AuditSK.Pub, sf.Encoded, sf.Auths, 8); err != nil {
-		// The provider refuses a bad deal on chain, too; the owner's
-		// forged metadata is what reputation records here.
-		o.network.Reputation.Observe(o.Name, reputation.EventForgedMetadata)
+	// Off-chain: hand the data and authenticators to the provider — over
+	// whatever transport t is — which validates before acknowledging on
+	// chain.
+	if err := t.AcceptAuditData(ctx, addr, o.AuditSK.Pub, sf.Encoded, sf.Auths, 8); err != nil {
 		if ackErr := k.Acknowledge(p.Address(), false); ackErr != nil {
 			return nil, ackErr
 		}
-		return nil, fmt.Errorf("%w: %w", ErrRejectedAuditData, err)
+		if !errors.Is(err, ErrRejectedAuditData) {
+			// The handoff never completed — transport failure, a draining
+			// or internally-broken server, a canceled context. The
+			// provider inspected nothing, so the deployment aborts
+			// without smearing either party's reputation.
+			return nil, err
+		}
+		// The provider validated the data and refused the deal; the
+		// owner's forged metadata is what reputation records here.
+		o.network.Reputation.Observe(o.Name, reputation.EventForgedMetadata)
+		return nil, err
 	}
 	if err := k.Acknowledge(p.Address(), true); err != nil {
 		return nil, err
@@ -95,7 +115,7 @@ func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (
 	if err := k.Freeze(); err != nil {
 		return nil, err
 	}
-	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: p, network: o.network}, nil
+	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: t, network: o.network}, nil
 }
 
 // EngageAll deploys one audit contract per distinct share holder of sf, so

@@ -46,4 +46,35 @@ var (
 	// Verifier breaks the SettleBlock contract by returning a different
 	// number of results than contracts handed to it.
 	ErrVerifierMismatch = errors.New("dsnaudit: verifier returned mismatched settlement results")
+
+	// ErrProviderUnreachable is returned by a remote transport when the
+	// provider cannot be reached at all — dial refused, connection torn
+	// down and every re-dial attempt exhausted. The scheduler treats it
+	// like any responder failure: the engagement waits out the proof
+	// deadline and the provider is slashed for the missed round.
+	ErrProviderUnreachable = errors.New("dsnaudit: provider unreachable")
+
+	// ErrResponseTimeout is returned by a remote transport when the
+	// provider accepted the request but no response arrived within the
+	// per-call deadline — a crashed, wedged or slow-lorising provider.
+	// Like ErrProviderUnreachable it maps onto the missed-round path.
+	ErrResponseTimeout = errors.New("dsnaudit: provider response timed out")
+
+	// ErrBadFrame is returned by a remote transport when a peer speaks the
+	// wire protocol incorrectly: garbage bytes, a version mismatch or a
+	// malformed payload. The connection that produced it is discarded
+	// (framing is lost), and persistent occurrences fail the round.
+	ErrBadFrame = errors.New("dsnaudit: bad wire frame from peer")
 )
+
+// IsTransportError reports whether err is a transport-level failure — the
+// provider unreachable, the response window blown, or the peer speaking the
+// protocol wrong — as opposed to an audit verdict. Drivers use it to decide
+// between "provider misbehaved" and "network misbehaved" bookkeeping; the
+// on-chain consequence is the same missed-round slashing either way once
+// the proof deadline lapses.
+func IsTransportError(err error) bool {
+	return errors.Is(err, ErrProviderUnreachable) ||
+		errors.Is(err, ErrResponseTimeout) ||
+		errors.Is(err, ErrBadFrame)
+}

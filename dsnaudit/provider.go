@@ -2,8 +2,8 @@ package dsnaudit
 
 import (
 	"context"
-	"crypto/rand"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/chain"
@@ -23,6 +23,20 @@ type Responder interface {
 	Respond(ctx context.Context, contractAddr chain.Address, ch *core.Challenge) ([]byte, error)
 }
 
+// ProviderTransport is the full provider-facing surface an engagement
+// needs: the audit-data handoff at initialization plus a Responder for
+// every subsequent round. ProviderNode implements it in-process;
+// dsnaudit/remote.Client implements it over TCP for a provider running in
+// another OS process. Transport-level failures must surface as (wrapped)
+// ErrProviderUnreachable / ErrResponseTimeout / ErrBadFrame so drivers can
+// map them onto the missed-round path.
+type ProviderTransport interface {
+	Responder
+	// AcceptAuditData delivers the owner's audit state for a contract and
+	// returns the provider's accept/reject verdict.
+	AcceptAuditData(ctx context.Context, contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error
+}
+
 // ProviderNode is a storage provider: blob store plus audit responders.
 // Its audit-state methods are safe for concurrent use, so one provider can
 // serve many simultaneous engagements.
@@ -31,13 +45,40 @@ type ProviderNode struct {
 	Store   *storage.Provider
 	DHTNode *dht.Node
 
+	// Workers bounds the goroutines each proof's multi-scalar
+	// multiplications use; 0 selects GOMAXPROCS. Proof bytes are identical
+	// at any setting.
+	Workers int
+
+	// ProofEntropy optionally overrides the randomness source blinding the
+	// private proofs (nil = crypto/rand). A deterministic reader makes
+	// proof bytes reproducible — the remote-parity integration tests rely
+	// on that to pin byte-identical on-chain outcomes across transports.
+	// Deployments must leave it nil: predictable blinding voids the
+	// on-chain privacy guarantee.
+	ProofEntropy io.Reader
+
 	network *Network
 
 	mu      sync.RWMutex
 	provers map[chain.Address]*core.Prover
 }
 
-var _ Responder = (*ProviderNode)(nil)
+var _ ProviderTransport = (*ProviderNode)(nil)
+
+// NewProviderNode creates a standalone provider: a blob store plus audit
+// responders with no simulation network attached. It is the node a remote
+// server (dsnaudit/remote) exposes from its own OS process — the audit
+// state arrives over the wire via AcceptAuditData, and the node never
+// touches a chain or reputation ledger itself. Providers participating in
+// an in-process simulation come from Network.AddProvider instead.
+func NewProviderNode(name string) *ProviderNode {
+	return &ProviderNode{
+		Name:    name,
+		Store:   storage.NewProvider(name),
+		provers: make(map[chain.Address]*core.Prover),
+	}
+}
 
 // Address returns the provider's chain account.
 func (p *ProviderNode) Address() chain.Address { return chain.Address(p.Name) }
@@ -46,11 +87,15 @@ func (p *ProviderNode) Address() chain.Address { return chain.Address(p.Name) }
 // validates a sample of authenticators against the public key (catching a
 // cheating owner, Section VI-A) and, on success, retains the audit state.
 // sampleSize chunks are checked, spread evenly over the file; a sampleSize
-// at or above the chunk count validates every authenticator.
-func (p *ProviderNode) AcceptAuditData(contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error {
+// at or above the chunk count validates every authenticator. ctx is
+// checked before the pairing-heavy validation starts.
+func (p *ProviderNode) AcceptAuditData(ctx context.Context, contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sample := sampleIndices(ef.NumChunks(), sampleSize)
 	if err := core.VerifyAuthenticators(pk, ef, auths, sample); err != nil {
-		return fmt.Errorf("dsnaudit: provider %s rejects audit data: %w", p.Name, err)
+		return fmt.Errorf("%w: provider %s: %w", ErrRejectedAuditData, p.Name, err)
 	}
 	// Retain an independent replica: many providers hold audit state for
 	// the same file (EngageAll), and corruption at one must stay local.
@@ -58,6 +103,7 @@ func (p *ProviderNode) AcceptAuditData(contractAddr chain.Address, pk *core.Publ
 	if err != nil {
 		return err
 	}
+	prover.Workers = p.Workers
 	p.mu.Lock()
 	p.provers[contractAddr] = prover
 	p.mu.Unlock()
@@ -83,8 +129,11 @@ func sampleIndices(n, sampleSize int) []int {
 
 // Respond answers an open challenge on the given contract with a
 // privacy-assured proof. It returns ErrNoAuditState if the provider never
-// accepted audit data for the contract, and ctx.Err() if the context is
-// done before proving starts.
+// accepted audit data for the contract, and ctx.Err() if the context dies
+// before — or during — proving: the proof pipeline polls ctx between and
+// inside its multi-scalar multiplication stages, so a canceled caller (a
+// disconnected remote peer, a torn-down scheduler) stops the CPU burn
+// mid-proof instead of completing a proof nobody will collect.
 func (p *ProviderNode) Respond(ctx context.Context, contractAddr chain.Address, ch *core.Challenge) ([]byte, error) {
 	p.mu.RLock()
 	prover, ok := p.provers[contractAddr]
@@ -92,11 +141,7 @@ func (p *ProviderNode) Respond(ctx context.Context, contractAddr chain.Address, 
 	if !ok {
 		return nil, fmt.Errorf("%w: provider %s, contract %s", ErrNoAuditState, p.Name, contractAddr)
 	}
-	// The pairing computation is not interruptible; check before starting.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	proof, err := prover.ProvePrivate(ch, nil, rand.Reader)
+	proof, err := prover.ProvePrivateCtx(ctx, ch, nil, p.ProofEntropy)
 	if err != nil {
 		return nil, err
 	}

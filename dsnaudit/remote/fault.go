@@ -1,0 +1,104 @@
+package remote
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConfig describes a deterministic adversarial network. Rates are
+// probabilities in [0, 1] evaluated per frame (WriteFrame issues exactly
+// one Write per frame, so conn-level writes are frame-aligned); the seeded
+// RNG makes every schedule of drops, delays, duplicates and corruptions
+// reproducible.
+type FaultConfig struct {
+	Seed        int64
+	DropRate    float64       // frame silently discarded
+	DelayRate   float64       // frame delivered after Delay
+	Delay       time.Duration // the injected latency
+	DupRate     float64       // frame written twice
+	CorruptRate float64       // one payload byte flipped
+}
+
+// FaultTransport wraps a net.Conn and injects the configured faults into
+// the write path. Both ends of a protocol exchange can be wrapped; wrap
+// the client side by passing FaultDialer to WithDialer.
+type FaultTransport struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultTransport wraps conn with the given fault schedule.
+func NewFaultTransport(conn net.Conn, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// FaultDialer returns a Dialer that dials TCP and wraps every connection
+// in a FaultTransport. Connection i uses seed cfg.Seed+i, so re-dials see
+// fresh — but still reproducible — fault schedules.
+func FaultDialer(cfg FaultConfig) Dialer {
+	var mu sync.Mutex
+	conns := int64(0)
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		d := net.Dialer{Timeout: DefaultDialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		c := cfg
+		c.Seed += conns
+		conns++
+		mu.Unlock()
+		return NewFaultTransport(conn, c), nil
+	}
+}
+
+// Write applies the fault schedule to one frame-aligned write. The checks
+// draw from the RNG in a fixed order (drop, delay, duplicate, corrupt) so
+// a given seed always produces the same schedule.
+func (f *FaultTransport) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	drop := f.roll(f.cfg.DropRate)
+	delay := f.roll(f.cfg.DelayRate)
+	dup := f.roll(f.cfg.DupRate)
+	corrupt := -1
+	if f.roll(f.cfg.CorruptRate) && len(p) > 0 {
+		corrupt = f.rng.Intn(len(p))
+	}
+	f.mu.Unlock()
+
+	if drop {
+		// The peer never sees the frame; the writer believes it landed.
+		return len(p), nil
+	}
+	if delay {
+		time.Sleep(f.cfg.Delay)
+	}
+	if corrupt >= 0 {
+		mangled := append([]byte(nil), p...)
+		mangled[corrupt] ^= 0xFF
+		p = mangled
+	}
+	n, err := f.Conn.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if dup {
+		if _, err := f.Conn.Write(p); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+// roll draws one Bernoulli sample. It always consumes RNG state, even at
+// rate 0, so enabling one fault type does not shift another's schedule.
+func (f *FaultTransport) roll(rate float64) bool {
+	return f.rng.Float64() < rate
+}

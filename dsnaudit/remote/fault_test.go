@@ -1,0 +1,177 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/dsnaudit"
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+// faultClient builds a client whose connections run through a
+// FaultTransport with the given config.
+func faultClient(addr string, cfg FaultConfig, opts ...ClientOption) *Client {
+	opts = append([]ClientOption{WithDialer(FaultDialer(cfg))}, opts...)
+	return NewClient(addr, opts...)
+}
+
+// TestFaultDropCausesTimeout pins the slow-loris shape: frames vanish on
+// the wire, the per-call deadline expires, and the error is the timeout
+// sentinel the scheduler maps to a missed round.
+func TestFaultDropCausesTimeout(t *testing.T) {
+	node := dsnaudit.NewProviderNode("fault-sp")
+	addr, _ := startServer(t, node)
+	client := faultClient(addr, FaultConfig{Seed: 1, DropRate: 1},
+		WithCallTimeout(400*time.Millisecond), WithRetries(0))
+	defer client.Close()
+
+	err := client.Ping(context.Background())
+	if !errors.Is(err, dsnaudit.ErrResponseTimeout) {
+		t.Fatalf("ping over a black-hole transport: %v, want ErrResponseTimeout", err)
+	}
+}
+
+// TestFaultCorruptionFailsRound pins the corruption path end to end: every
+// client frame has one byte flipped, the round cannot complete, and the
+// engagement takes the missed-round slashing path instead of hanging.
+func TestFaultCorruptionFailsRound(t *testing.T) {
+	fx := buildFixture(t, "fault-corrupt")
+	node := dsnaudit.NewProviderNode("fault-sp")
+	addr, _ := startServer(t, node)
+
+	// Audit data is delivered over a clean client (initialization
+	// succeeds), then the network turns hostile for the rounds.
+	clean := NewClient(addr)
+	defer clean.Close()
+	holder := fx.sf.Holders[0]
+	eng, err := fx.owner.EngageWith(context.Background(), fx.sf, holder, clean, smallTerms(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupting := faultClient(addr, FaultConfig{Seed: 7, CorruptRate: 1},
+		WithCallTimeout(500*time.Millisecond), WithRetries(2), WithRetryBackoff(10*time.Millisecond))
+	defer corrupting.Close()
+	eng.Responder = corrupting
+
+	ok, err := eng.RunRound(context.Background())
+	if err != nil {
+		t.Fatalf("corrupted round should settle as missed, got %v", err)
+	}
+	if ok {
+		t.Fatal("round passed over a fully corrupting transport")
+	}
+	if got := eng.Contract.State(); got != contract.StateAborted {
+		t.Fatalf("state = %v, want ABORTED via the missed-round path", got)
+	}
+}
+
+// TestFaultCorruptionErrorClass pins that a corrupting transport surfaces
+// a transport-class error (bad frame or unreachable after retries drop the
+// poisoned connections) — never a silent success.
+func TestFaultCorruptionErrorClass(t *testing.T) {
+	fx := buildFixture(t, "fault-class")
+	node := dsnaudit.NewProviderNode("fault-sp")
+	addr, _ := startServer(t, node)
+	clean := NewClient(addr)
+	defer clean.Close()
+	if err := clean.AcceptAuditData(context.Background(), "c", fx.owner.AuditSK.Pub, fx.sf.Encoded, fx.sf.Auths, 2); err != nil {
+		t.Fatal(err)
+	}
+	corrupting := faultClient(addr, FaultConfig{Seed: 11, CorruptRate: 1},
+		WithCallTimeout(500*time.Millisecond), WithRetries(1), WithRetryBackoff(10*time.Millisecond))
+	defer corrupting.Close()
+	ch, err := core.NewChallenge(4, newDetReader("fault-class"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = corrupting.Respond(context.Background(), "c", ch)
+	if err == nil {
+		t.Fatal("respond succeeded over a fully corrupting transport")
+	}
+	if !dsnaudit.IsTransportError(err) {
+		t.Fatalf("error %v is not classified as a transport error", err)
+	}
+}
+
+// TestFaultDuplicationIsHarmless pins idempotence under frame duplication:
+// every frame (requests included) is delivered twice, and the audit still
+// completes with every round passing — duplicate responses are dropped by
+// the request-ID demux.
+func TestFaultDuplicationIsHarmless(t *testing.T) {
+	fx := buildFixture(t, "fault-dup")
+	node := dsnaudit.NewProviderNode("fault-sp")
+	addr, _ := startServer(t, node)
+	dup := faultClient(addr, FaultConfig{Seed: 3, DupRate: 1})
+	defer dup.Close()
+
+	holder := fx.sf.Holders[0]
+	eng, err := fx.owner.EngageWith(context.Background(), fx.sf, holder, dup, smallTerms(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Contract.State(); got != contract.StateExpired {
+		t.Fatalf("state = %v, want EXPIRED", got)
+	}
+}
+
+// TestFaultDelayWithinDeadline pins that added latency below the call
+// timeout only slows the audit, never fails it.
+func TestFaultDelayWithinDeadline(t *testing.T) {
+	fx := buildFixture(t, "fault-delay")
+	node := dsnaudit.NewProviderNode("fault-sp")
+	addr, _ := startServer(t, node)
+	slow := faultClient(addr,
+		FaultConfig{Seed: 5, DelayRate: 1, Delay: 30 * time.Millisecond},
+		WithCallTimeout(10*time.Second))
+	defer slow.Close()
+
+	holder := fx.sf.Holders[0]
+	eng, err := fx.owner.EngageWith(context.Background(), fx.sf, holder, slow, smallTerms(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Contract.State(); got != contract.StateExpired {
+		t.Fatalf("state = %v, want EXPIRED", got)
+	}
+}
+
+// TestFaultScheduleIsDeterministic pins the seeded RNG: the same seed
+// yields the same drop schedule, a different seed a different one.
+func TestFaultScheduleIsDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		ft := NewFaultTransport(nil, FaultConfig{Seed: seed, DropRate: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			ft.mu.Lock()
+			out[i] = ft.roll(ft.cfg.DropRate)
+			ft.mu.Unlock()
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-frame schedules")
+	}
+}

@@ -200,9 +200,12 @@ func TestPrivateTrailBiasUniform(t *testing.T) {
 		ys = append(ys, proof.YPrime)
 	}
 	bias := PrivateTrailBias(ys, 8)
-	// Normalized chi-square ~1 for uniform; allow generous slack for 200
-	// samples.
-	if bias > 2.5 {
+	// Normalized chi-square ~1 for uniform. The slack must cover the
+	// unseeded sampling noise of 200 draws: at 7 degrees of freedom a 2.5
+	// cutoff still false-alarms on ~1.5% of runs, while genuine leakage
+	// (a linear trail) sits orders of magnitude higher, so 3.5 (~0.1%
+	// false-alarm) loses no detection power.
+	if bias > 3.5 {
 		t.Fatalf("private trail bias %.2f suggests leakage", bias)
 	}
 	if PrivateTrailBias(nil, 8) != 0 || PrivateTrailBias(ys, 1) != 0 {

@@ -1,11 +1,18 @@
 package bn256
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/bits"
 
 	"repro/internal/parallel"
 )
+
+// msmCheckInterval is how many points a bucket pass accumulates between
+// context polls in MultiScalarMultCtx: frequent enough that a canceled
+// prover stops within microseconds, rare enough to stay off the profile.
+const msmCheckInterval = 64
 
 // MultiScalarMult sets e = sum_i scalars[i] * points[i] using Pippenger's
 // bucket method and returns e. It is the workhorse of both the prover
@@ -26,7 +33,41 @@ func (e *G1) MultiScalarMultParallel(points []*G1, scalars []*big.Int, workers i
 	return e.multiScalarMult(points, scalars, workers)
 }
 
+// MultiScalarMultCtx is MultiScalarMultParallel with cooperative
+// cancellation: the window dispatch and each window's bucket pass poll ctx
+// (every msmCheckInterval points), so a prover whose peer vanished abandons
+// the multi-scalar multiplication mid-computation instead of finishing a
+// result nobody will read. On cancellation it returns ctx.Err() and leaves
+// e unspecified; a nil error means e holds the exact same value the serial
+// method computes.
+func (e *G1) MultiScalarMultCtx(ctx context.Context, points []*G1, scalars []*big.Int, workers int) (*G1, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e.multiScalarMult(points, scalars, workers), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := e.multiScalarMultCancelable(ctx, points, scalars, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		// Canceled between the last poll and the windows' completion.
+		return nil, errMSMCanceled
+	}
+	return res, nil
+}
+
+var errMSMCanceled = errors.New("bn256: multi-scalar multiplication canceled")
+
 func (e *G1) multiScalarMult(points []*G1, scalars []*big.Int, workers int) *G1 {
+	return e.multiScalarMultCancelable(nil, points, scalars, workers)
+}
+
+// multiScalarMultCancelable runs Pippenger's method, polling ctx (when
+// non-nil) inside the per-window point loops. It returns nil if a window
+// was abandoned; the caller maps that to ctx.Err().
+func (e *G1) multiScalarMultCancelable(ctx context.Context, points []*G1, scalars []*big.Int, workers int) *G1 {
 	if len(points) != len(scalars) {
 		panic("bn256: MultiScalarMult length mismatch")
 	}
@@ -65,9 +106,12 @@ func (e *G1) multiScalarMult(points []*G1, scalars []*big.Int, workers int) *G1 
 	// window's state, so the windows fan out across the workers; the
 	// carry-dependent combine below stays serial.
 	windowSums := make([]*curvePoint, windows)
-	parallel.For(workers, windows, func(w int) {
+	windowPass := func(w int) {
 		buckets := make([]*curvePoint, numBuckets)
 		for i := range words {
+			if ctx != nil && i%msmCheckInterval == 0 && ctx.Err() != nil {
+				return // abandon the window: windowSums[w] stays nil
+			}
 			idx := scalarDigit(words[i], w*c, c)
 			if idx == 0 {
 				continue
@@ -88,7 +132,19 @@ func (e *G1) multiScalarMult(points []*G1, scalars []*big.Int, workers int) *G1 
 			windowSum.Add(windowSum, running)
 		}
 		windowSums[w] = windowSum
-	})
+	}
+	if ctx != nil {
+		if parallel.ForCtx(ctx, workers, windows, windowPass) != nil {
+			return nil
+		}
+		for _, ws := range windowSums {
+			if ws == nil {
+				return nil
+			}
+		}
+	} else {
+		parallel.For(workers, windows, windowPass)
+	}
 
 	acc := newCurvePoint().SetInfinity()
 	for w := windows - 1; w >= 0; w-- {

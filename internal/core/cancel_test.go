@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+)
+
+// proverFixture builds a prover over a moderately sized file so a proof
+// takes long enough to observe cancellation behavior.
+func proverFixture(t testing.TB, bytes, s int) (*Prover, *Challenge) {
+	t.Helper()
+	sk, err := KeyGen(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, bytes)
+	if _, err := rand.Read(data); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := EncodeFile(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths, err := Setup(sk, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(sk.Pub, ef, auths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChallenge(ef.NumChunks(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prover, ch
+}
+
+func TestProveCtxCanceledUpFront(t *testing.T) {
+	prover, ch := proverFixture(t, 4000, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prover.ProvePrivateCtx(ctx, ch, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := prover.ProveCtx(ctx, ch, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProveCtxCanceledMidProof(t *testing.T) {
+	// A deadline that lands inside the MSM work: the prover must abort with
+	// the deadline error rather than finish and succeed. The file is large
+	// enough that proving takes well beyond the deadline.
+	prover, ch := proverFixture(t, 120_000, 8)
+	start := time.Now()
+	full, err := prover.ProvePrivateCtx(context.Background(), ch, nil, nil)
+	if err != nil || full == nil {
+		t.Fatalf("uncancelled proof failed: %v", err)
+	}
+	fullTime := time.Since(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), fullTime/20)
+	defer cancel()
+	start = time.Now()
+	_, err = prover.ProvePrivateCtx(ctx, ch, nil, nil)
+	aborted := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The abort must be prompt: well under the full proving time.
+	if aborted > fullTime/2+50*time.Millisecond {
+		t.Fatalf("cancellation took %v of a %v proof: not cooperative", aborted, fullTime)
+	}
+}
+
+func TestProveCtxMatchesProve(t *testing.T) {
+	// The ctx plumbing must not change results: ProveCtx with a live
+	// context produces the exact proof Prove does.
+	prover, ch := proverFixture(t, 4000, 4)
+	a, err := prover.Prove(ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prover.ProveCtx(context.Background(), ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sigma.Equal(b.Sigma) || !a.Psi.Equal(b.Psi) || a.Y.Cmp(b.Y) != 0 {
+		t.Fatal("ProveCtx result differs from Prove")
+	}
+}

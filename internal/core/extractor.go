@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -34,7 +35,7 @@ type ForkedTranscript struct {
 // It exists for the rewinding experiment only: the on-chain protocol always
 // derives zeta = H'(R).
 func (p *Prover) ProveWithChallenge(ch *Challenge, zeta, z *big.Int) (*PrivateProof, error) {
-	sigma, y, psi, err := p.buildResponse(ch, nil)
+	sigma, y, psi, err := p.buildResponse(context.Background(), ch, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -50,6 +51,13 @@ func Setup(sk *PrivateKey, ef *EncodedFile) ([]*Authenticator, error) {
 //
 // sample lists the chunk indices to check; pass nil to check all.
 func VerifyAuthenticators(pk *PublicKey, ef *EncodedFile, auths []*Authenticator, sample []int) error {
+	if ef.S != pk.S {
+		// Checked before any pairing work: a key and file that disagree on
+		// the chunk size would otherwise feed mismatched slice lengths
+		// into MultiScalarMult, which panics — and when the two arrive
+		// independently over a wire, that must be an error, not a crash.
+		return fmt.Errorf("%w: file chunk size %d != key chunk size %d", ErrBadParameters, ef.S, pk.S)
+	}
 	if len(auths) != ef.NumChunks() {
 		return fmt.Errorf("%w: %d authenticators for %d chunks", ErrBadParameters, len(auths), ef.NumChunks())
 	}
@@ -172,7 +180,12 @@ func NewProver(pk *PublicKey, ef *EncodedFile, auths []*Authenticator) (*Prover,
 
 // buildResponse computes the shared core of both proof flavors:
 // sigma = prod sigma_i^{c_i}, Pk, y = Pk(r), psi = g1^{Qk(alpha)}.
-func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G1, y *big.Int, psi *bn256.G1, err error) {
+//
+// The proving pipeline is cancellation-aware at every stage boundary and
+// inside the two multi-scalar multiplications: a remote peer that
+// disconnects mid-proof (the ctx owner) stops the CPU burn within a few
+// dozen point additions instead of completing a proof nobody will collect.
+func (p *Prover) buildResponse(ctx context.Context, ch *Challenge, stats *ProveStats) (sigma *bn256.G1, y *big.Int, psi *bn256.G1, err error) {
 	indices, coeffs, r, err := ch.Expand(p.File.NumChunks())
 	if err != nil {
 		return nil, nil, nil, err
@@ -184,12 +197,18 @@ func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G
 	for j, idx := range indices {
 		pts[j] = p.Auths[idx].Sigma
 	}
-	sigma = new(bn256.G1).MultiScalarMultParallel(pts, coeffs, p.Workers)
+	sigma, err = new(bn256.G1).MultiScalarMultCtx(ctx, pts, coeffs, p.Workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if stats != nil {
 		stats.ECC += time.Since(start)
 	}
 
 	// Pk, y, Qk: Zp.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	start = time.Now()
 	polys := make([]*poly.Poly, len(indices))
 	for j, idx := range indices {
@@ -205,8 +224,14 @@ func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G
 	}
 
 	// psi = g1^{Qk(alpha)} from the powers: ECC.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	start = time.Now()
-	psi = new(bn256.G1).MultiScalarMultParallel(p.Pub.Powers[:len(qk.Coeffs)], qk.Coeffs, p.Workers)
+	psi, err = new(bn256.G1).MultiScalarMultCtx(ctx, p.Pub.Powers[:len(qk.Coeffs)], qk.Coeffs, p.Workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if stats != nil {
 		stats.ECC += time.Since(start)
 	}
@@ -218,7 +243,12 @@ func (p *Prover) buildResponse(ch *Challenge, stats *ProveStats) (sigma *bn256.G
 // adversary exploits; it exists as the "w/o on-chain privacy" baseline of
 // Figs. 5, 8 and 9. stats may be nil.
 func (p *Prover) Prove(ch *Challenge, stats *ProveStats) (*Proof, error) {
-	sigma, y, psi, err := p.buildResponse(ch, stats)
+	return p.ProveCtx(context.Background(), ch, stats)
+}
+
+// ProveCtx is Prove with cooperative cancellation (see buildResponse).
+func (p *Prover) ProveCtx(ctx context.Context, ch *Challenge, stats *ProveStats) (*Proof, error) {
+	sigma, y, psi, err := p.buildResponse(ctx, ch, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +260,15 @@ func (p *Prover) Prove(ch *Challenge, stats *ProveStats) (*Proof, error) {
 // a Sigma-protocol transcript that is witness indistinguishable on chain.
 // stats may be nil; rng may be nil for crypto/rand.
 func (p *Prover) ProvePrivate(ch *Challenge, stats *ProveStats, rng io.Reader) (*PrivateProof, error) {
-	sigma, y, psi, err := p.buildResponse(ch, stats)
+	return p.ProvePrivateCtx(context.Background(), ch, stats, rng)
+}
+
+// ProvePrivateCtx is ProvePrivate with cooperative cancellation: the
+// context is polled between the sigma/psi MSM stages and inside their
+// bucket passes, so a canceled caller (a vanished remote peer) stops the
+// proof computation promptly.
+func (p *Prover) ProvePrivateCtx(ctx context.Context, ch *Challenge, stats *ProveStats, rng io.Reader) (*PrivateProof, error) {
+	sigma, y, psi, err := p.buildResponse(ctx, ch, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCtxRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := ForCtx(context.Background(), workers, 100, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d items, want 100", workers, ran.Load())
+		}
+	}
+}
+
+func TestForCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 4, 1000, func(i int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most one in-flight item per worker may have slipped through.
+	if ran.Load() > 4 {
+		t.Fatalf("%d items ran after cancellation, want <= workers", ran.Load())
+	}
+}
+
+func TestForCtxCanceledMidway(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForCtx(ctx, workers, 10_000, func(i int) {
+			if ran.Add(1) == 50 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, n)
+		}
+		cancel()
+	}
+}

@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,51 @@ func Workers(requested, n int) int {
 		w = 1
 	}
 	return w
+}
+
+// ForCtx is For with cooperative cancellation: every worker polls ctx
+// before picking up its next item, so a caller whose context dies — a
+// remote peer disconnecting mid-proof is the motivating case — stops
+// burning CPU after at most one in-flight item per worker. A nil return
+// means every fn(i) ran; on cancellation ForCtx returns ctx.Err() and an
+// unspecified subset of items was skipped, so the caller must discard any
+// partial results.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		// An uncancellable context: the polling would never fire.
+		For(workers, n, fn)
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // For runs fn(i) for every i in [0, n) across at most workers goroutines

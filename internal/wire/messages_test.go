@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/bn256"
+	"repro/internal/core"
+	"repro/internal/prf"
+)
+
+// fixedReader yields a repeating deterministic byte pattern, pinning the key
+// material the AcceptAuditData golden vector is built from.
+type fixedReader struct{ ctr byte }
+
+func (r *fixedReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.ctr
+		r.ctr = r.ctr*31 + 7
+	}
+	return len(p), nil
+}
+
+// testChallenge is the deterministic challenge every vector uses.
+func testChallenge() *core.Challenge {
+	ch := &core.Challenge{K: 300}
+	for i := 0; i < prf.SeedSize; i++ {
+		ch.C1[i] = byte(i)
+		ch.C2[i] = byte(0x10 + i)
+		ch.R[i] = byte(0x20 + i)
+	}
+	return ch
+}
+
+// goldenFrame encodes a full frame (header + payload) as hex.
+func goldenFrame(t *testing.T, typ Type, id uint64, payload []byte, err error) string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: typ, ID: id, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(buf.Bytes())
+}
+
+// TestGoldenVectors pins the full frame encoding of every message type.
+// These hex strings are the wire format: a change here is a protocol break
+// and must come with a Version bump (see the package comment).
+func TestGoldenVectors(t *testing.T) {
+	hello, errHello := (&Hello{Node: "sp-00"}).Marshal()
+	accepted, errAccepted := (&Accepted{Contract: "audit:o:p:f"}).Marshal()
+	chal, errChal := (&Challenge{Contract: "audit:o:p:f", Chal: testChallenge()}).Marshal()
+	proof, errProof := (&Proof{Contract: "audit:o:p:f", Proof: []byte{0xAA, 0xBB, 0xCC}}).Marshal()
+	wireErr, errErr := (&Error{Code: CodeNoAuditState, Message: "no audit state"}).Marshal()
+	ping, errPing := (&Ping{Nonce: 0x0102030405060708}).Marshal()
+
+	vectors := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"Hello", goldenFrame(t, MsgHello, 1, hello, errHello),
+			"0000001101010000000000000001000573702d3030"},
+		{"Accepted", goldenFrame(t, MsgAccepted, 2, accepted, errAccepted),
+			"0000001701030000000000000002000b61756469743a6f3a703a66"},
+		{"Challenge", goldenFrame(t, MsgChallenge, 3, chal, errChal),
+			"0000004b01040000000000000003000b61756469743a6f3a703a66" +
+				"000102030405060708090a0b0c0d0e0f" +
+				"101112131415161718191a1b1c1d1e1f" +
+				"202122232425262728292a2b2c2d2e2f" +
+				"0000012c"},
+		{"Proof", goldenFrame(t, MsgProof, 4, proof, errProof),
+			"0000001e01050000000000000004000b61756469743a6f3a703a6600000003aabbcc"},
+		{"Error", goldenFrame(t, MsgError, 5, wireErr, errErr),
+			"0000001e0106000000000000000500000003000e6e6f206175646974207374617465"},
+		{"Ping", goldenFrame(t, MsgPing, 6, ping, errPing),
+			"0000001201070000000000000006" + "0102030405060708"},
+	}
+	for _, v := range vectors {
+		if v.got != v.want {
+			t.Errorf("%s golden mismatch:\n got  %s\n want %s", v.name, v.got, v.want)
+		}
+	}
+}
+
+// TestGoldenAcceptAuditData pins the bulk transfer's format via a digest:
+// the payload is megabytes-scale in production, so the vector is the
+// SHA-256 of a deterministically keyed small instance.
+func TestGoldenAcceptAuditData(t *testing.T) {
+	rng := &fixedReader{}
+	sk, err := core.KeyGen(2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("golden-vector file contents 0123456789")
+	ef, err := core.EncodeFile(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths := make([]*core.Authenticator, ef.NumChunks())
+	for i := range auths {
+		auths[i] = &core.Authenticator{Index: i, Sigma: new(bn256.G1).ScalarBaseMult(big.NewInt(int64(i + 3)))}
+	}
+	msg := &AcceptAuditData{
+		Contract:   "audit:owner:sp-00:file",
+		SampleSize: 8,
+		PublicKey:  sk.Pub,
+		File:       ef,
+		Auths:      auths,
+	}
+	payload, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256(payload)
+	const want = "320cb98dfefaf6756c40cec5b82350e4c1a3336cd6c1f5f371887464ec422262"
+	if got := hex.EncodeToString(digest[:]); got != want {
+		t.Errorf("AcceptAuditData digest mismatch:\n got  %s (payload %d bytes)\n want %s", got, len(payload), want)
+	}
+
+	// And the payload must round-trip losslessly.
+	back, err := UnmarshalAcceptAuditData(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Contract != msg.Contract || back.SampleSize != msg.SampleSize {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if !bytes.Equal(back.File.Decode(), data) {
+		t.Fatal("file did not survive the round trip")
+	}
+	if len(back.Auths) != len(auths) || !back.Auths[0].Sigma.Equal(auths[0].Sigma) {
+		t.Fatal("authenticators did not survive the round trip")
+	}
+	pkGot, err := back.PublicKey.Marshal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkWant, err := msg.PublicKey.Marshal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkGot, pkWant) {
+		t.Fatal("public key did not survive the round trip")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	t.Run("Hello", func(t *testing.T) {
+		b, err := (&Hello{Node: "node-x"}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalHello(b)
+		if err != nil || got.Node != "node-x" {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("Challenge", func(t *testing.T) {
+		want := &Challenge{Contract: "c", Chal: testChallenge()}
+		b, err := want.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalChallenge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Contract != want.Contract || !reflect.DeepEqual(got.Chal, want.Chal) {
+			t.Fatalf("got %+v", got)
+		}
+	})
+	t.Run("Error", func(t *testing.T) {
+		b, err := (&Error{Code: CodeInternal, Message: "boom"}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalError(b)
+		if err != nil || got.Code != CodeInternal || got.Message != "boom" {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("Proof", func(t *testing.T) {
+		b, err := (&Proof{Contract: "c", Proof: bytes.Repeat([]byte{7}, 288)}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalProof(b)
+		if err != nil || got.Contract != "c" || len(got.Proof) != 288 {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("Ping", func(t *testing.T) {
+		b, err := (&Ping{Nonce: 99}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPing(b)
+		if err != nil || got.Nonce != 99 {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+}
+
+func TestMessageRejectsTrailingBytes(t *testing.T) {
+	hello, err := (&Hello{Node: "n"}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalHello(append(hello, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+	ping, err := (&Ping{Nonce: 1}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPing(append(ping, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// TestChallengeCarriesK pins the satellite fix this package exists for: the
+// wire challenge is self-contained, k included, unlike the 48-byte on-chain
+// form.
+func TestChallengeCarriesK(t *testing.T) {
+	ch := testChallenge()
+	onChain := ch.Marshal()
+	if len(onChain) != 48 {
+		t.Fatalf("on-chain challenge is %d bytes, want 48", len(onChain))
+	}
+	wire, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != core.ChallengeBinarySize {
+		t.Fatalf("wire challenge is %d bytes, want %d", len(wire), core.ChallengeBinarySize)
+	}
+	back, err := core.UnmarshalChallengeBinary(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != ch.K {
+		t.Fatalf("k did not survive: got %d, want %d", back.K, ch.K)
+	}
+	if !reflect.DeepEqual(back, ch) {
+		t.Fatalf("challenge mismatch: %+v vs %+v", back, ch)
+	}
+}

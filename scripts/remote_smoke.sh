@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# remote_smoke.sh — end-to-end smoke test of the remote provider transport.
+#
+# Launches three `dsn-audit serve` provider processes, then:
+#   1. runs a clean 2-round remote audit that must pass (exit 0), and
+#   2. runs a 10-round remote audit during which one provider is killed
+#      mid-run: the audit must finish (no hang), exit non-zero, and show
+#      exactly two EXPIRED engagements and one ABORTED (slashed) one.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+bin="$workdir/dsn-audit"
+go build -o "$bin" ./cmd/dsn-audit
+
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Start three providers on kernel-chosen ports and collect their addresses.
+addrs=()
+for name in sp-a sp-b sp-c; do
+  log="$workdir/$name.log"
+  "$bin" serve -addr 127.0.0.1:0 -name "$name" >"$log" 2>&1 &
+  pids+=($!)
+  for _ in $(seq 1 100); do
+    addr=$(grep -m1 '^LISTEN ' "$log" 2>/dev/null | cut -d' ' -f2 || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "FAIL: $name never reported its address"; exit 1; }
+  addrs+=("$addr")
+done
+remote_list="${addrs[0]},${addrs[1]},${addrs[2]}"
+echo "providers up: $remote_list"
+
+# Phase 1: clean run must pass and exit 0.
+if ! "$bin" -remote "$remote_list" -rounds 2 -seed smoke-clean \
+    -call-timeout 30s >"$workdir/clean.log" 2>&1; then
+  echo "FAIL: clean remote audit exited non-zero"
+  tail -20 "$workdir/clean.log"
+  exit 1
+fi
+grep -q 'audit passed' "$workdir/clean.log"
+[ "$(grep -c 'state=EXPIRED' "$workdir/clean.log")" -eq 3 ]
+echo "clean remote audit passed (3/3 engagements EXPIRED)"
+
+# Phase 2: 10-round audit with provider 3 killed mid-run. A 1 MiB file
+# makes every round's proving slow enough (three ~1700-point MSM proofs)
+# that the kill below lands well before the 30 rounds settle, even on a
+# fast many-core runner.
+audit_log="$workdir/audit.log"
+head -c 1048576 /dev/urandom >"$workdir/payload.bin"
+"$bin" -remote "$remote_list" -file "$workdir/payload.bin" -rounds 10 \
+  -seed smoke-kill -call-timeout 15s -retries 1 >"$audit_log" 2>&1 &
+audit_pid=$!
+# Kill sp-c as soon as the first settled round streams a progress line —
+# the earliest moment that is provably "mid-run".
+for _ in $(seq 1 1200); do
+  if grep -q 'progress: ' "$audit_log" 2>/dev/null; then break; fi
+  kill -0 "$audit_pid" 2>/dev/null || break
+  sleep 0.05
+done
+kill "${pids[2]}" 2>/dev/null || true
+echo "killed provider sp-c mid-run"
+
+rc=0
+wait "$audit_pid" || rc=$?
+echo "audit exit code: $rc"
+tail -5 "$audit_log"
+
+[ "$rc" -eq 1 ] || { echo "FAIL: expected exit 1 (failed rounds), got $rc"; cat "$audit_log"; exit 1; }
+[ "$(grep -c 'state=EXPIRED' "$audit_log")" -eq 2 ] || { echo "FAIL: want 2 surviving engagements"; cat "$audit_log"; exit 1; }
+[ "$(grep -c 'state=ABORTED' "$audit_log")" -eq 1 ] || { echo "FAIL: want 1 slashed engagement"; cat "$audit_log"; exit 1; }
+grep -q 'slashed' "$audit_log" || { echo "FAIL: no slashing reported"; cat "$audit_log"; exit 1; }
+
+echo "remote smoke passed: survivors expired, killed provider slashed, exit code gates"
