@@ -303,53 +303,51 @@ func runRemoteAudit(ctx context.Context, net *dsnaudit.Network, owner *dsnaudit.
 	}
 
 	fmt.Printf("\nrunning %d engagements x %d rounds against live servers ...\n", len(engs), cfg.rounds)
-	// Stream settlement progress while the scheduler runs: scripts (the CI
-	// smoke test kills a provider mid-run) key off these lines.
-	runErr := make(chan error, 1)
-	go func() { runErr <- sched.Run(ctx) }()
+	// Both hooks run on the scheduler's own goroutine, so they may read
+	// contract state and print without extra synchronization. The block hook
+	// streams settlement progress (scripts — the CI smoke test kills a
+	// provider mid-run — key off these lines); the outcome hook prints each
+	// engagement's full audit trail the moment its terminal result lands, so
+	// nothing polls Results anymore.
+	addrOf := make(map[string]string, len(engs))
+	for i, eng := range engs {
+		addrOf[string(eng.ID())] = cfg.remotes[i]
+	}
 	total := len(engs) * cfg.rounds
 	reported := 0
-	ticker := time.NewTicker(50 * time.Millisecond)
-	defer ticker.Stop()
-	for done := false; !done; {
-		select {
-		case err := <-runErr:
-			if err != nil {
-				return 0, err
-			}
-			done = true
-		case <-ticker.C:
-		}
+	sched.OnBlock(func(uint64) {
 		settled := 0
-		for _, res := range sched.Results() {
-			settled += res.Rounds
+		for _, eng := range engs {
+			settled += len(eng.Contract.Records())
 		}
 		if settled > reported {
 			reported = settled
 			fmt.Printf("progress: %d/%d rounds settled\n", settled, total)
 		}
-	}
-
+	})
 	price := cost.PaperPrice()
 	failed, passed := 0, 0
-	for i, eng := range engs {
-		res, _ := sched.Result(eng.ID())
+	sched.OnOutcome(func(out dsnaudit.Outcome) {
+		res := out.Result
 		failed += res.Failed
 		passed += res.Passed
-		fmt.Printf("\nengagement %s via %s:\n", eng.Contract.Addr, cfg.remotes[i])
-		for _, rec := range eng.Contract.Records() {
+		fmt.Printf("\nengagement %s via %s:\n", out.ID, addrOf[string(out.ID)])
+		for _, rec := range out.Eng.Contract.Records() {
 			fmt.Printf("  round %d: passed=%-5v proof=%dB gas=%d ($%.4f)\n",
 				rec.Round+1, rec.Passed, rec.ProofSize, rec.GasUsed, price.GasToUSD(rec.GasUsed))
 		}
-		state := eng.Contract.State()
+		state := out.Eng.Contract.State()
 		fmt.Printf("  state=%v rounds=%d passed=%d failed=%d\n", state, res.Rounds, res.Passed, res.Failed)
 		if state == contract.StateAborted {
-			fmt.Printf("  provider %s slashed (missed or failed a round)\n", eng.Provider.Name)
+			fmt.Printf("  provider %s slashed (missed or failed a round)\n", out.Eng.Provider.Name)
 		}
 		if res.Err != nil {
 			fmt.Printf("  engagement error: %v\n", res.Err)
 			failed++
 		}
+	})
+	if err := sched.Run(ctx); err != nil {
+		return 0, err
 	}
 	fmt.Printf("\naudit summary: %d engagements, %d rounds settled, %d passed, %d failed\n",
 		len(engs), passed+failed, passed, failed)

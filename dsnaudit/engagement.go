@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/contract"
+	"repro/internal/core"
 	"repro/internal/reputation"
 )
 
@@ -43,6 +44,14 @@ type Engagement struct {
 	// swap it to interpose latency, faults, or a remote transport.
 	Responder Responder
 
+	// ShareIndex is the erasure share this engagement audits under the
+	// sharded deployment (EngageShare/EngageShares), or -1 for a whole-blob
+	// engagement. Generation counts re-engagements of the same share slot:
+	// 0 at outsourcing, +1 per renewal or repair, salting the contract
+	// address so successive contracts never collide.
+	ShareIndex int
+	Generation int
+
 	network *Network
 }
 
@@ -65,10 +74,69 @@ func (o *Owner) Engage(sf *StoredFile, p *ProviderNode, terms EngagementTerms) (
 // injector. ctx bounds the off-chain handoff; a transport failure there
 // surfaces before any deposit is frozen.
 func (o *Owner) EngageWith(ctx context.Context, sf *StoredFile, p *ProviderNode, t ProviderTransport, terms EngagementTerms) (*Engagement, error) {
+	addr := chain.Address(fmt.Sprintf("audit:%s:%s:%s", o.Name, p.Name, sf.Manifest.Name))
+	eng, err := o.engageAudit(ctx, addr, p, t, terms, sf.Encoded, sf.Auths)
+	if err != nil {
+		return nil, err
+	}
+	eng.ShareIndex = -1
+	return eng, nil
+}
+
+// EngageShare deploys an audit contract covering one erasure share of a
+// sharded stored file (OutsourceSharded): the provider receives and is
+// audited on exactly the share's bytes. generation salts the contract
+// address so repairing or renewing the same share slot never collides with
+// the contract it replaces.
+func (o *Owner) EngageShare(ctx context.Context, sf *StoredFile, index, generation int, p *ProviderNode, t ProviderTransport, terms EngagementTerms) (*Engagement, error) {
+	if sf.Shares == nil || index < 0 || index >= len(sf.Shares) {
+		return nil, fmt.Errorf("%w: no share audit state for index %d of %s", ErrInvalidTerms, index, sf.Manifest.Name)
+	}
+	sa := sf.Shares[index]
+	addr := chain.Address(fmt.Sprintf("audit:%s:%s:%s#%d.g%d", o.Name, p.Name, sf.Manifest.Name, index, generation))
+	eng, err := o.engageAudit(ctx, addr, p, t, terms, sa.Encoded, sa.Auths)
+	if err != nil {
+		return nil, err
+	}
+	eng.ShareIndex = index
+	eng.Generation = generation
+	return eng, nil
+}
+
+// EngageShares deploys one per-share audit contract for every share of a
+// sharded stored file, against its current holders. transportFor maps each
+// holder to the transport used to reach it (nil = in-process, the node
+// itself). On partial failure the established engagements are returned with
+// the error.
+func (o *Owner) EngageShares(ctx context.Context, sf *StoredFile, terms EngagementTerms, transportFor func(*ProviderNode) ProviderTransport) (*EngagementSet, error) {
+	if sf.Shares == nil {
+		return nil, fmt.Errorf("%w: %s was not outsourced sharded", ErrNoHolders, sf.Manifest.Name)
+	}
+	if len(sf.Holders) != len(sf.Shares) {
+		return nil, fmt.Errorf("%w: %d holders for %d shares", ErrNoHolders, len(sf.Holders), len(sf.Shares))
+	}
+	set := &EngagementSet{Owner: o, File: sf}
+	for i, holder := range sf.Holders {
+		var t ProviderTransport = holder
+		if transportFor != nil {
+			t = transportFor(holder)
+		}
+		eng, err := o.EngageShare(ctx, sf, i, 0, holder, t, terms)
+		if err != nil {
+			return set, fmt.Errorf("dsnaudit: engage share %d of %s on %s: %w", i, sf.Manifest.Name, holder.Name, err)
+		}
+		set.Engagements = append(set.Engagements, eng)
+	}
+	return set, nil
+}
+
+// engageAudit walks the Initialize phase of Fig. 2 for one audited object
+// (a whole sealed blob or a single erasure share) at an explicit contract
+// address. It is the shared body of EngageWith and EngageShare.
+func (o *Owner) engageAudit(ctx context.Context, addr chain.Address, p *ProviderNode, t ProviderTransport, terms EngagementTerms, ef *core.EncodedFile, auths []*core.Authenticator) (*Engagement, error) {
 	if terms.Rounds < 1 {
 		return nil, fmt.Errorf("%w: at least one audit round required", ErrInvalidTerms)
 	}
-	addr := chain.Address(fmt.Sprintf("audit:%s:%s:%s", o.Name, p.Name, sf.Manifest.Name))
 	agreement := contract.Agreement{
 		Owner:            o.Address(),
 		Provider:         p.Address(),
@@ -79,7 +147,7 @@ func (o *Owner) EngageWith(ctx context.Context, sf *StoredFile, p *ProviderNode,
 		PaymentPerRound:  terms.PaymentPerRound,
 		OwnerDeposit:     new(big.Int).Mul(terms.PaymentPerRound, big.NewInt(int64(terms.Rounds))),
 		ProviderDeposit:  terms.ProviderDeposit,
-		NumChunks:        sf.Encoded.NumChunks(),
+		NumChunks:        ef.NumChunks(),
 		PublicKey:        o.AuditSK.Pub,
 		PublicKeyPrivacy: true,
 	}
@@ -93,7 +161,7 @@ func (o *Owner) EngageWith(ctx context.Context, sf *StoredFile, p *ProviderNode,
 	// Off-chain: hand the data and authenticators to the provider — over
 	// whatever transport t is — which validates before acknowledging on
 	// chain.
-	if err := t.AcceptAuditData(ctx, addr, o.AuditSK.Pub, sf.Encoded, sf.Auths, 8); err != nil {
+	if err := t.AcceptAuditData(ctx, addr, o.AuditSK.Pub, ef, auths, 8); err != nil {
 		if ackErr := k.Acknowledge(p.Address(), false); ackErr != nil {
 			return nil, ackErr
 		}
@@ -115,7 +183,7 @@ func (o *Owner) EngageWith(ctx context.Context, sf *StoredFile, p *ProviderNode,
 	if err := k.Freeze(); err != nil {
 		return nil, err
 	}
-	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: t, network: o.network}, nil
+	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: t, ShareIndex: -1, network: o.network}, nil
 }
 
 // EngageAll deploys one audit contract per distinct share holder of sf, so

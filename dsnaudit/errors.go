@@ -65,6 +65,23 @@ var (
 	// malformed payload. The connection that produced it is discarded
 	// (framing is lost), and persistent occurrences fail the round.
 	ErrBadFrame = errors.New("dsnaudit: bad wire frame from peer")
+
+	// ErrShareUnavailable is returned by a share fetch when the holder is
+	// reachable but has no object stored under the key — it dropped the
+	// share, or never held it. Repair treats it like a refusal: the holder
+	// contributes nothing to reconstruction and reputation records the
+	// stonewall.
+	ErrShareUnavailable = errors.New("dsnaudit: share unavailable on holder")
+
+	// ErrNoReplacement is returned by the repair path when no candidate
+	// provider could take a reconstructed share — every ranked candidate was
+	// excluded, unreachable, or refused the re-engagement.
+	ErrNoReplacement = errors.New("dsnaudit: no replacement provider available")
+
+	// ErrShareCorrupt is returned when a fetched share fails its manifest
+	// hash check, or a reconstructed blob fails the content hash: the data a
+	// holder served is not the data the owner placed.
+	ErrShareCorrupt = errors.New("dsnaudit: share failed integrity check")
 )
 
 // IsTransportError reports whether err is a transport-level failure — the

@@ -122,3 +122,39 @@ func (n *Network) LocateProviders(objectKey string, count int) ([]*ProviderNode,
 	}
 	return out, nil
 }
+
+// LocateReplacement ranks candidate providers for re-placing a lost share:
+// every ring member responsible for the object key (the whole ring, since a
+// replacement must be found even under heavy churn), minus the excluded
+// names — the failed holder and the file's surviving holders — ordered by
+// descending reputation. The repair manager walks the list until one
+// candidate accepts the share and the re-engagement.
+func (n *Network) LocateReplacement(objectKey string, exclude map[string]bool) ([]*ProviderNode, error) {
+	nodes, err := n.Ring.Providers(dht.HashString(objectKey), n.Ring.Size())
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	names := make([]string, 0, len(nodes))
+	for _, node := range nodes {
+		if exclude[node.Addr] {
+			continue
+		}
+		if _, ok := n.providers[node.Addr]; !ok {
+			continue // a ring member that is not a simulated provider
+		}
+		names = append(names, node.Addr)
+	}
+	n.mu.RUnlock()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: for %s", ErrNoReplacement, objectKey)
+	}
+	names = n.Reputation.Rank(names)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*ProviderNode, len(names))
+	for i, name := range names {
+		out[i] = n.providers[name]
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package dsnaudit
 
 import (
 	"crypto/rand"
+	"fmt"
 	"io"
 	"math/big"
 
@@ -37,14 +38,33 @@ func NewOwner(n *Network, name string, s int, funds *big.Int) (*Owner, error) {
 // Address returns the owner's chain account.
 func (o *Owner) Address() chain.Address { return chain.Address(o.Name) }
 
+// Network returns the simulation network the owner participates in; the
+// repair subsystem uses it to reach the reputation ledger and the DHT.
+func (o *Owner) Network() *Network { return o.network }
+
 // StoredFile is the owner's record of an outsourced file: the storage-plane
 // manifest plus the audit-plane state.
+//
+// Two audit deployments exist. Outsource builds whole-blob audit state
+// (Encoded/Auths over the sealed blob, replicated per engagement by
+// EngageAll). OutsourceSharded builds per-share audit state instead
+// (Shares), so each engagement audits exactly the erasure share its holder
+// stores — the shape the repair subsystem reconstructs and re-engages.
 type StoredFile struct {
 	Manifest *storage.Manifest
 	Sealed   []byte // the sealed blob (kept for test comparison; a real owner drops it)
 	Encoded  *core.EncodedFile
 	Auths    []*core.Authenticator
 	Holders  []*ProviderNode
+	Shares   []*ShareAudit // per-share audit state (sharded deployment only)
+}
+
+// ShareAudit is the audit state covering one erasure share: the chunk
+// encoding and authenticators computed over the share's bytes.
+type ShareAudit struct {
+	Index   int
+	Encoded *core.EncodedFile
+	Auths   []*core.Authenticator
 }
 
 // Outsource runs the owner pipeline of Fig. 1 end to end: seal the data,
@@ -86,6 +106,70 @@ func (o *Owner) Outsource(name string, data []byte, k, m int) (*StoredFile, erro
 		Auths:    auths,
 		Holders:  holders,
 	}, nil
+}
+
+// OutsourceSharded runs the owner pipeline with per-share audit state:
+// seal, erasure-code k-of-(k+m), place each share on a DHT-selected
+// provider, and run Setup over every share's own bytes. Unlike Outsource —
+// which audits a separately sealed full replica on every holder — each
+// engagement here covers exactly what its holder stores, so a provider that
+// drops its share cannot keep passing audits, and a lost share's audit
+// state can be rebuilt from the reconstructed bytes alone (the property
+// repair depends on).
+func (o *Owner) OutsourceSharded(name string, data []byte, k, m int) (*StoredFile, error) {
+	man, shares, err := storage.Prepare(name, o.EncKey, data, k, m, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	holders, err := o.network.LocateProviders(name, len(shares))
+	if err != nil {
+		return nil, err
+	}
+	sf := &StoredFile{
+		Manifest: man,
+		Holders:  holders,
+		Shares:   make([]*ShareAudit, len(shares)),
+	}
+	for i, share := range shares {
+		holders[i].Store.Put(man.ShareKeys[i], share)
+		sa, err := o.shareAudit(i, share)
+		if err != nil {
+			return nil, err
+		}
+		sf.Shares[i] = sa
+	}
+	return sf, nil
+}
+
+// shareAudit builds (or rebuilds, after reconstruction) the audit state for
+// one share's bytes. Setup is deterministic given the owner's audit key, so
+// a reconstructed share yields authenticators identical to the originals.
+func (o *Owner) shareAudit(index int, share []byte) (*ShareAudit, error) {
+	ef, err := core.EncodeFile(share, o.AuditSK.Pub.S)
+	if err != nil {
+		return nil, err
+	}
+	auths, err := core.Setup(o.AuditSK, ef)
+	if err != nil {
+		return nil, err
+	}
+	return &ShareAudit{Index: index, Encoded: ef, Auths: auths}, nil
+}
+
+// RebuildShareAudit recomputes and installs the audit state for one share
+// slot from the share's bytes — the step that makes a reconstructed share
+// re-engageable. Setup is deterministic given the owner's audit key, so the
+// rebuilt authenticators are identical to the ones computed at outsourcing.
+func (o *Owner) RebuildShareAudit(sf *StoredFile, index int, share []byte) error {
+	if sf.Shares == nil || index < 0 || index >= len(sf.Shares) {
+		return fmt.Errorf("dsnaudit: no share audit slot %d for %s", index, sf.Manifest.Name)
+	}
+	sa, err := o.shareAudit(index, share)
+	if err != nil {
+		return err
+	}
+	sf.Shares[index] = sa
+	return nil
 }
 
 // Retrieve pulls shares back from the holders and reassembles the file,

@@ -37,6 +37,30 @@ type ProviderTransport interface {
 	AcceptAuditData(ctx context.Context, contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator, sampleSize int) error
 }
 
+// ShareFetcher retrieves stored erasure shares from a provider; the repair
+// manager uses it to collect surviving shares for reconstruction.
+type ShareFetcher interface {
+	// FetchShare returns the share stored under key, or a wrapped
+	// ErrShareUnavailable if the provider holds nothing for it.
+	FetchShare(ctx context.Context, key string) ([]byte, error)
+}
+
+// SharePlacer stores an erasure share on a provider; the repair manager
+// uses it to re-place a reconstructed share onto a replacement holder.
+type SharePlacer interface {
+	PutShare(ctx context.Context, key string, data []byte) error
+}
+
+// RepairPeer is the full surface the repair subsystem needs from a holder:
+// the audit transport for re-engagement plus share fetch and placement.
+// ProviderNode implements it in-process; dsnaudit/remote.Client implements
+// it against a provider in another OS process.
+type RepairPeer interface {
+	ProviderTransport
+	ShareFetcher
+	SharePlacer
+}
+
 // ProviderNode is a storage provider: blob store plus audit responders.
 // Its audit-state methods are safe for concurrent use, so one provider can
 // serve many simultaneous engagements.
@@ -64,7 +88,7 @@ type ProviderNode struct {
 	provers map[chain.Address]*core.Prover
 }
 
-var _ ProviderTransport = (*ProviderNode)(nil)
+var _ RepairPeer = (*ProviderNode)(nil)
 
 // NewProviderNode creates a standalone provider: a blob store plus audit
 // responders with no simulation network attached. It is the node a remote
@@ -146,6 +170,27 @@ func (p *ProviderNode) Respond(ctx context.Context, contractAddr chain.Address, 
 		return nil, err
 	}
 	return proof.Marshal()
+}
+
+// FetchShare serves a stored erasure share from the provider's blob store.
+func (p *ProviderNode) FetchShare(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := p.Store.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: provider %s, key %s", ErrShareUnavailable, p.Name, key)
+	}
+	return data, nil
+}
+
+// PutShare stores an erasure share in the provider's blob store.
+func (p *ProviderNode) PutShare(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.Store.Put(key, data)
+	return nil
 }
 
 // Prover exposes the provider's audit state for a contract (experiments

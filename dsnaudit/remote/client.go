@@ -116,7 +116,7 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	return c
 }
 
-var _ dsnaudit.ProviderTransport = (*Client)(nil)
+var _ dsnaudit.RepairPeer = (*Client)(nil)
 
 // errClientClosed is terminal: no retry can revive a closed client.
 var errClientClosed = errors.New("remote: client closed")
@@ -188,6 +188,57 @@ func (c *Client) AcceptAuditData(ctx context.Context, contractAddr chain.Address
 	}
 	if m.Contract != contractAddr {
 		return fmt.Errorf("%w: acknowledgment for %s, sent %s", dsnaudit.ErrBadFrame, m.Contract, contractAddr)
+	}
+	return nil
+}
+
+// FetchShare implements dsnaudit.ShareFetcher over the wire: it asks the
+// provider for the erasure share stored under key. A holder that dropped
+// the share answers with CodeNoShare, surfacing as
+// dsnaudit.ErrShareUnavailable.
+func (c *Client) FetchShare(ctx context.Context, key string) ([]byte, error) {
+	payload, err := (&wire.ShareRequest{Key: key}).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, wire.MsgShareRequest, payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.MsgShareData {
+		return nil, fmt.Errorf("%w: %v response to a share request", dsnaudit.ErrBadFrame, resp.Type)
+	}
+	m, err := wire.UnmarshalShareData(resp.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", dsnaudit.ErrBadFrame, err)
+	}
+	if m.Key != key {
+		return nil, fmt.Errorf("%w: share for %q, asked for %q", dsnaudit.ErrBadFrame, m.Key, key)
+	}
+	return m.Share, nil
+}
+
+// PutShare implements dsnaudit.SharePlacer over the wire: it pushes a
+// (reconstructed) erasure share onto the provider, which stores it under
+// key and acknowledges.
+func (c *Client) PutShare(ctx context.Context, key string, data []byte) error {
+	payload, err := (&wire.ShareData{Key: key, Share: data}).Marshal()
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(ctx, wire.MsgShareData, payload)
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.MsgAccepted {
+		return fmt.Errorf("%w: %v response to a share push", dsnaudit.ErrBadFrame, resp.Type)
+	}
+	m, err := wire.UnmarshalAccepted(resp.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", dsnaudit.ErrBadFrame, err)
+	}
+	if string(m.Contract) != key {
+		return fmt.Errorf("%w: acknowledgment for %q, pushed %q", dsnaudit.ErrBadFrame, m.Contract, key)
 	}
 	return nil
 }
@@ -295,6 +346,8 @@ func (c *Client) mapRemoteError(f *wire.Frame) error {
 	switch e.Code {
 	case wire.CodeNoAuditState:
 		return fmt.Errorf("%w: %s", dsnaudit.ErrNoAuditState, e.Message)
+	case wire.CodeNoShare:
+		return fmt.Errorf("%w: %s", dsnaudit.ErrShareUnavailable, e.Message)
 	case wire.CodeRejected:
 		return fmt.Errorf("%w: %s", dsnaudit.ErrRejectedAuditData, e.Message)
 	case wire.CodeShuttingDown:

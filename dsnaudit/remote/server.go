@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/dsnaudit"
+	"repro/internal/chain"
 	"repro/internal/wire"
 )
 
@@ -305,6 +306,40 @@ func (s *Server) handleFrame(ctx context.Context, w *connWriter, f *wire.Frame) 
 			return
 		}
 		_ = w.send(&wire.Frame{Type: wire.MsgProof, ID: f.ID, Payload: payload})
+
+	case wire.MsgShareRequest:
+		m, err := wire.UnmarshalShareRequest(f.Payload)
+		if err != nil {
+			s.sendError(w, f.ID, wire.CodeBadRequest, err.Error())
+			return
+		}
+		data, err := s.node.Store.Get(m.Key)
+		if err != nil {
+			s.sendError(w, f.ID, wire.CodeNoShare, fmt.Sprintf("no share stored under %q", m.Key))
+			return
+		}
+		payload, err := (&wire.ShareData{Key: m.Key, Share: data}).Marshal()
+		if err != nil {
+			s.sendError(w, f.ID, wire.CodeInternal, err.Error())
+			return
+		}
+		_ = w.send(&wire.Frame{Type: wire.MsgShareData, ID: f.ID, Payload: payload})
+
+	case wire.MsgShareData:
+		// A ShareData *request* is a share push: a repaired share being
+		// re-placed on this node. Stored as-is; Accepted echoes the key.
+		m, err := wire.UnmarshalShareData(f.Payload)
+		if err != nil {
+			s.sendError(w, f.ID, wire.CodeBadRequest, err.Error())
+			return
+		}
+		s.node.Store.Put(m.Key, m.Share)
+		payload, err := (&wire.Accepted{Contract: chain.Address(m.Key)}).Marshal()
+		if err != nil {
+			s.sendError(w, f.ID, wire.CodeInternal, err.Error())
+			return
+		}
+		_ = w.send(&wire.Frame{Type: wire.MsgAccepted, ID: f.ID, Payload: payload})
 
 	case wire.MsgHello:
 		// A repeat handshake is harmless; answer it.

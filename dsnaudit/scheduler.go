@@ -53,6 +53,17 @@ type Scheduler struct {
 	running bool
 	entries []*schedEntry
 	byID    map[chain.Address]*schedEntry
+
+	outcomeHooks []func(Outcome)
+	blockHooks   []func(height uint64)
+}
+
+// Outcome is one engagement's terminal result, delivered to outcome hooks
+// the moment the engagement finishes — no Results polling needed.
+type Outcome struct {
+	ID     chain.Address
+	Eng    *Engagement
+	Result Result
 }
 
 // Result is the per-engagement outcome accounting kept by the scheduler.
@@ -133,6 +144,19 @@ func WithParallelism(n int) SchedulerOption {
 	}
 }
 
+// WithOutcomeHook registers fn to be called for every engagement that
+// reaches a terminal state. Equivalent to OnOutcome; see there for the
+// delivery contract.
+func WithOutcomeHook(fn func(Outcome)) SchedulerOption {
+	return func(s *Scheduler) { s.outcomeHooks = append(s.outcomeHooks, fn) }
+}
+
+// WithBlockHook registers fn to be called on every scheduler tick.
+// Equivalent to OnBlock; see there for the delivery contract.
+func WithBlockHook(fn func(height uint64)) SchedulerOption {
+	return func(s *Scheduler) { s.blockHooks = append(s.blockHooks, fn) }
+}
+
 // NewScheduler creates a scheduler over the network's chain. Settlement
 // defaults to batched verification (one shared final exponentiation per
 // block); see WithVerifier and WithPerProofVerification. Both pipeline
@@ -177,6 +201,30 @@ func (s *Scheduler) AddSet(set *EngagementSet) error {
 		}
 	}
 	return nil
+}
+
+// OnOutcome registers fn to be called for every engagement that reaches a
+// terminal state (expired, aborted, or errored out). Hooks run synchronously
+// on the Run goroutine, immediately after the outcome is recorded and with
+// no scheduler lock held, so a hook may call Add to register follow-up
+// engagements — that is exactly how the repair subsystem re-engages a
+// reconstructed share. Register hooks before Run starts; outcomes are not
+// replayed for late subscribers.
+func (s *Scheduler) OnOutcome(fn func(Outcome)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outcomeHooks = append(s.outcomeHooks, fn)
+}
+
+// OnBlock registers fn to be called once per scheduler tick, after the block
+// event is received and before engagements are woken for that height. Like
+// outcome hooks it runs on the Run goroutine with no lock held, giving
+// experiments a deterministic injection point for churn (provider deaths,
+// joins, corruption) pinned to block heights.
+func (s *Scheduler) OnBlock(fn func(height uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockHooks = append(s.blockHooks, fn)
 }
 
 // Result returns the scheduler's accounting for one engagement, keyed by
@@ -310,6 +358,21 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			if err := joinSettle(); err != nil {
 				return err
 			}
+			// An outcome hook may have registered follow-up engagements
+			// (repair re-engaging a reconstructed share) on the way here;
+			// keep driving instead of stranding them for a later Run.
+			s.mu.Lock()
+			revived := false
+			for _, entry := range s.entries {
+				if entry.phase != phaseDone {
+					revived = true
+					break
+				}
+			}
+			s.mu.Unlock()
+			if revived {
+				continue
+			}
 			for s.net.Chain.PendingCount() > 0 {
 				s.net.Chain.MineBlock()
 			}
@@ -344,6 +407,16 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				return err
 			}
 			return ctx.Err()
+		}
+
+		// Block hooks fire between the block event and the wake scan: what
+		// they do to the world (kill a provider, add an engagement) is
+		// visible to this tick's wake, pinning churn injection to heights.
+		s.mu.Lock()
+		blockHooks := append([]func(uint64){}, s.blockHooks...)
+		s.mu.Unlock()
+		for _, fn := range blockHooks {
+			fn(height)
 		}
 
 		due, block := s.wake(height)
@@ -563,13 +636,20 @@ func (s *Scheduler) recordRound(entry *schedEntry, passed bool) {
 	}
 }
 
-// finish marks an entry terminal.
+// finish marks an entry terminal and delivers the outcome to the registered
+// hooks. Every call site runs on the Run goroutine, and the hooks fire after
+// the lock is released, so a hook may safely re-enter the scheduler (Add).
 func (s *Scheduler) finish(entry *schedEntry, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	entry.phase = phaseDone
 	entry.result.State = entry.eng.Contract.State()
 	if err != nil {
 		entry.result.Err = err
+	}
+	out := Outcome{ID: entry.eng.ID(), Eng: entry.eng, Result: entry.result}
+	hooks := s.outcomeHooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(out)
 	}
 }

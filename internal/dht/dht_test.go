@@ -3,6 +3,7 @@ package dht
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -165,6 +166,115 @@ func TestBetween(t *testing.T) {
 	for _, c := range cases {
 		if got := between(c.a, c.b, c.x); got != c.want {
 			t.Fatalf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+// TestRingConcurrentChurn hammers the overlay with concurrent joins,
+// leaves, lookups and provider scans. Run under -race this pins the
+// Ring's synchronization; functionally it asserts that every lookup
+// observed during churn stays internally consistent (errors only on an
+// empty ring, results always live ring positions) and that the final
+// membership matches the surviving join set.
+func TestRingConcurrentChurn(t *testing.T) {
+	r := NewRing()
+	// A stable base population so lookups always have somewhere to land.
+	base := make([]*Node, 0, 16)
+	for i := 0; i < 16; i++ {
+		n, err := r.Join(fmt.Sprintf("base-%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = append(base, n)
+	}
+
+	const (
+		churners = 4
+		readers  = 4
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, churners+readers)
+
+	// Churners: each owns a disjoint name space and keeps joining and
+	// leaving its nodes, so ring size oscillates under the readers.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				addr := fmt.Sprintf("churn-%d-%d", c, i%8)
+				n, err := r.Join(addr)
+				if err != nil {
+					errs <- fmt.Errorf("join %s: %w", addr, err)
+					return
+				}
+				if !r.Leave(n.ID) {
+					errs <- fmt.Errorf("leave %s: node vanished", addr)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Readers: lookups, successor scans and provider selections must stay
+	// coherent while the membership moves underneath them.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := base[g%len(base)]
+			for i := 0; i < rounds; i++ {
+				key := HashString(fmt.Sprintf("object-%d-%d", g, i))
+				node, hops, err := r.Lookup(from, key)
+				if err != nil {
+					errs <- fmt.Errorf("lookup: %w", err)
+					return
+				}
+				if node == nil || hops < 0 {
+					errs <- fmt.Errorf("lookup returned node=%v hops=%d", node, hops)
+					return
+				}
+				if _, err := r.Successor(key); err != nil {
+					errs <- fmt.Errorf("successor: %w", err)
+					return
+				}
+				// The base population alone guarantees 8 distinct
+				// providers at any instant.
+				provs, err := r.Providers(key, 8)
+				if err != nil {
+					errs <- fmt.Errorf("providers: %w", err)
+					return
+				}
+				seen := make(map[ID]bool, len(provs))
+				for _, p := range provs {
+					if p == nil {
+						errs <- fmt.Errorf("providers returned nil node")
+						return
+					}
+					if seen[p.ID] {
+						errs <- fmt.Errorf("providers returned duplicate node %d", p.ID)
+						return
+					}
+					seen[p.ID] = true
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every churner left its nodes; only the base population remains.
+	if r.Size() != len(base) {
+		t.Fatalf("final ring size %d, want %d", r.Size(), len(base))
+	}
+	for _, n := range base {
+		if got, err := r.Successor(n.ID); err != nil || got.ID != n.ID {
+			t.Fatalf("base node %s missing after churn: got %v err %v", n.Addr, got, err)
 		}
 	}
 }

@@ -40,6 +40,14 @@ const (
 	// EventForgedMetadata: an owner was caught planting bad
 	// authenticators during provider-side validation.
 	EventForgedMetadata
+	// EventRepairServed: a holder served its share to a repair, helping
+	// reconstruct a lost share.
+	EventRepairServed
+	// EventRepairRefused: a holder failed to serve a share a repair asked
+	// for (unreachable, dropped, or corrupted). Negative but non-slashing:
+	// the contract-level audit is what convicts; repair refusal alone only
+	// depresses ranking.
+	EventRepairRefused
 )
 
 // scoreDelta maps events to score adjustments.
@@ -57,6 +65,10 @@ func scoreDelta(e Event) float64 {
 		return +10
 	case EventForgedMetadata:
 		return -50
+	case EventRepairServed:
+		return +2
+	case EventRepairRefused:
+		return -20
 	default:
 		return 0
 	}

@@ -124,3 +124,53 @@ func TestSybilResistance(t *testing.T) {
 		t.Fatalf("resistance vs floor identity = %d", got)
 	}
 }
+
+func TestRepairEvents(t *testing.T) {
+	l := NewLedger()
+
+	// Serving repairs earns credit on top of audit history.
+	for i := 0; i < 10; i++ {
+		l.Observe("helper", EventAuditPassed)
+	}
+	before := l.Trust("helper")
+	l.Observe("helper", EventRepairServed)
+	r, err := l.Record("helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 12 {
+		t.Fatalf("score = %v, want 10 passes + 2 repair credit", r.Score)
+	}
+	if l.Trust("helper") <= before {
+		t.Fatalf("serving a repair did not raise trust: %.4f -> %.4f", before, l.Trust("helper"))
+	}
+
+	// Refusing repairs depresses ranking but must NOT slash: only the
+	// contract-level audit convicts, and Trust hard-zeros on Slashed > 0.
+	for i := 0; i < 10; i++ {
+		l.Observe("hoarder", EventAuditPassed)
+	}
+	whole := l.Trust("hoarder")
+	l.Observe("hoarder", EventRepairRefused)
+	r, err = l.Record("hoarder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slashed != 0 {
+		t.Fatalf("repair refusal counted as a slash: %+v", r)
+	}
+	if r.Score != -10 {
+		t.Fatalf("score = %v, want 10 passes - 20 refusal penalty", r.Score)
+	}
+	if got := l.Trust("hoarder"); got >= whole || got <= 0 {
+		t.Fatalf("refusal trust %.4f, want depressed but above zero (was %.4f)", got, whole)
+	}
+
+	// Ranking: a refuser sinks below clean peers but stays above a
+	// convicted one.
+	l.Observe("felon", EventAuditFailed)
+	ranked := l.Rank([]string{"felon", "hoarder", "helper"})
+	if ranked[0] != "helper" || ranked[1] != "hoarder" || ranked[2] != "felon" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}

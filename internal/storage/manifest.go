@@ -18,6 +18,7 @@ type manifestWire struct {
 	SealedSize  int      `json:"sealed_size"`
 	ShareKeys   []string `json:"share_keys"`
 	ContentHash []byte   `json:"content_hash"`
+	ShareHashes [][]byte `json:"share_hashes,omitempty"`
 }
 
 // EncodeManifest serializes a manifest to JSON.
@@ -32,6 +33,7 @@ func EncodeManifest(m *Manifest) ([]byte, error) {
 		SealedSize:  m.SealedSize,
 		ShareKeys:   m.ShareKeys,
 		ContentHash: m.ContentHash[:],
+		ShareHashes: m.ShareHashes,
 	})
 }
 
@@ -53,12 +55,25 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	if w.SealedSize < 0 {
 		return nil, fmt.Errorf("storage: negative sealed size")
 	}
+	// Share hashes are optional (manifests predate them) but, when present,
+	// must cover every share with a full SHA-256 each.
+	if w.ShareHashes != nil {
+		if len(w.ShareHashes) != w.K+w.M {
+			return nil, fmt.Errorf("storage: manifest lists %d share hashes, want %d", len(w.ShareHashes), w.K+w.M)
+		}
+		for i, h := range w.ShareHashes {
+			if len(h) != len(Manifest{}.ContentHash) {
+				return nil, fmt.Errorf("storage: share hash %d has %d bytes", i, len(h))
+			}
+		}
+	}
 	m := &Manifest{
-		Name:       w.Name,
-		K:          w.K,
-		M:          w.M,
-		SealedSize: w.SealedSize,
-		ShareKeys:  w.ShareKeys,
+		Name:        w.Name,
+		K:           w.K,
+		M:           w.M,
+		SealedSize:  w.SealedSize,
+		ShareKeys:   w.ShareKeys,
+		ShareHashes: w.ShareHashes,
 	}
 	copy(m.ContentHash[:], w.ContentHash)
 	return m, nil

@@ -121,6 +121,21 @@ type Manifest struct {
 	SealedSize  int // bytes of the sealed blob (pre-split)
 	ShareKeys   []string
 	ContentHash [sha256.Size]byte // hash of the sealed blob for end-to-end integrity
+	ShareHashes [][]byte          // per-share SHA-256, indexed like ShareKeys; pins each share individually so a corrupted survivor is identified (not just detected) during repair
+}
+
+// VerifyShare checks share i's bytes against the manifest's per-share hash.
+// Manifests predating share hashes (nil ShareHashes) verify nothing and
+// return true; reconstruction then falls back on the whole-blob ContentHash.
+func (m *Manifest) VerifyShare(i int, data []byte) bool {
+	if m.ShareHashes == nil {
+		return true
+	}
+	if i < 0 || i >= len(m.ShareHashes) {
+		return false
+	}
+	h := sha256.Sum256(data)
+	return bytes.Equal(h[:], m.ShareHashes[i])
 }
 
 // Prepare runs the full owner pipeline of Fig. 1 on plaintext data:
@@ -148,9 +163,12 @@ func Prepare(name string, key, data []byte, k, m int, rng io.Reader) (*Manifest,
 		SealedSize:  len(blob),
 		ContentHash: sha256.Sum256(blob),
 		ShareKeys:   make([]string, len(shares)),
+		ShareHashes: make([][]byte, len(shares)),
 	}
 	for i := range shares {
 		man.ShareKeys[i] = fmt.Sprintf("%s/share/%d", name, i)
+		h := sha256.Sum256(shares[i])
+		man.ShareHashes[i] = h[:]
 	}
 	return man, shares, nil
 }

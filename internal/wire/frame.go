@@ -28,8 +28,9 @@ import (
 
 const (
 	// Version is the framing version byte. See the package comment for the
-	// compatibility rule.
-	Version = 1
+	// compatibility rule. v2 added the repair subsystem's share-transfer
+	// messages (ShareRequest/ShareData).
+	Version = 2
 
 	// HeaderSize is the fixed frame prefix: length word, version, type and
 	// request ID.
@@ -51,6 +52,10 @@ type Type uint8
 // Message types. Requests flow driver -> provider; each response echoes the
 // request ID. AcceptAuditData is answered by Accepted, Challenge by Proof,
 // Hello by Hello and Ping by Ping; Error answers any request that failed.
+// The repair subsystem's share transfers reuse the same shape: ShareRequest
+// is answered by ShareData, and ShareData sent as a request is a share
+// *push* (re-placement onto a fresh holder) answered by Accepted, whose
+// address field carries the object key back.
 const (
 	MsgHello           Type = 1
 	MsgAcceptAuditData Type = 2
@@ -59,6 +64,8 @@ const (
 	MsgProof           Type = 5
 	MsgError           Type = 6
 	MsgPing            Type = 7
+	MsgShareRequest    Type = 8
+	MsgShareData       Type = 9
 )
 
 // String renders the message type name.
@@ -78,13 +85,17 @@ func (t Type) String() string {
 		return "Error"
 	case MsgPing:
 		return "Ping"
+	case MsgShareRequest:
+		return "ShareRequest"
+	case MsgShareData:
+		return "ShareData"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
 }
 
 // valid reports whether t is a known message type.
-func (t Type) valid() bool { return t >= MsgHello && t <= MsgPing }
+func (t Type) valid() bool { return t >= MsgHello && t <= MsgShareData }
 
 // Framing errors. ErrFrameTooLarge and ErrVersion wrap ErrBadFrame, so
 // errors.Is(err, ErrBadFrame) matches every framing-level rejection.

@@ -48,7 +48,9 @@ func FuzzUnmarshalMessages(f *testing.F) {
 	chal, _ := (&Challenge{Contract: "c", Chal: testChallenge()}).Marshal()
 	proof, _ := (&Proof{Contract: "c", Proof: []byte{1, 2, 3}}).Marshal()
 	errMsg, _ := (&Error{Code: 1, Message: "m"}).Marshal()
-	for _, s := range [][]byte{hello, chal, proof, errMsg, {}, bytes.Repeat([]byte{0xFF}, 80)} {
+	shareReq, _ := (&ShareRequest{Key: "f/share/0"}).Marshal()
+	shareData, _ := (&ShareData{Key: "f/share/0", Share: []byte{4, 5, 6}}).Marshal()
+	for _, s := range [][]byte{hello, chal, proof, errMsg, shareReq, shareData, {}, bytes.Repeat([]byte{0xFF}, 80)} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -80,6 +82,16 @@ func FuzzUnmarshalMessages(f *testing.F) {
 		if m, err := UnmarshalPing(data); err == nil {
 			if out, err := m.Marshal(); err != nil || !bytes.Equal(out, data) {
 				t.Fatalf("ping not canonical: %x vs %x (%v)", data, out, err)
+			}
+		}
+		if m, err := UnmarshalShareRequest(data); err == nil {
+			if out, err := m.Marshal(); err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("share request not canonical: %x vs %x (%v)", data, out, err)
+			}
+		}
+		if m, err := UnmarshalShareData(data); err == nil {
+			if out, err := m.Marshal(); err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("share data not canonical: %x vs %x (%v)", data, out, err)
 			}
 		}
 		// The bulk decoder must also never panic (its nested core decoders

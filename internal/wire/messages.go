@@ -204,6 +204,66 @@ func UnmarshalProof(data []byte) (*Proof, error) {
 	return &Proof{Contract: chain.Address(contract), Proof: proof}, nil
 }
 
+// ShareRequest asks a holder for one stored erasure share by object key.
+// The repair manager sends it to each surviving holder when reconstructing
+// a lost share; the holder answers with ShareData or an Error carrying
+// CodeNoShare.
+type ShareRequest struct {
+	Key string
+}
+
+// Marshal encodes the share-request payload.
+func (m *ShareRequest) Marshal() ([]byte, error) {
+	return appendString(nil, m.Key)
+}
+
+// UnmarshalShareRequest parses a share-request payload.
+func UnmarshalShareRequest(data []byte) (*ShareRequest, error) {
+	key, rest, err := readString(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: share request: %v", ErrBadFrame, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: share request: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return &ShareRequest{Key: key}, nil
+}
+
+// ShareData carries one erasure share. As a response it answers a
+// ShareRequest; as a request it pushes a reconstructed share onto a
+// replacement holder, which stores it and answers with Accepted (the
+// Accepted address field echoes the key).
+type ShareData struct {
+	Key   string
+	Share []byte
+}
+
+// Marshal encodes the share-data payload.
+func (m *ShareData) Marshal() ([]byte, error) {
+	out, err := appendString(nil, m.Key)
+	if err != nil {
+		return nil, err
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Share)))
+	return append(out, m.Share...), nil
+}
+
+// UnmarshalShareData parses a share-data payload.
+func UnmarshalShareData(data []byte) (*ShareData, error) {
+	key, rest, err := readString(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: share data: %v", ErrBadFrame, err)
+	}
+	share, rest, err := readBlob(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: share data: %v", ErrBadFrame, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: share data: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return &ShareData{Key: key, Share: share}, nil
+}
+
 // Error codes carried by Error frames. The client maps them back onto the
 // dsnaudit sentinel errors.
 const (
@@ -212,6 +272,7 @@ const (
 	CodeNoAuditState uint32 = 3 // provider holds no state for the contract
 	CodeRejected     uint32 = 4 // provider rejected the owner's audit data
 	CodeShuttingDown uint32 = 5 // server draining; safe to retry elsewhere
+	CodeNoShare      uint32 = 6 // holder has no stored object for the key
 )
 
 // Error reports a failed request. It doubles as a Go error so server-side

@@ -60,6 +60,8 @@ func TestGoldenVectors(t *testing.T) {
 	proof, errProof := (&Proof{Contract: "audit:o:p:f", Proof: []byte{0xAA, 0xBB, 0xCC}}).Marshal()
 	wireErr, errErr := (&Error{Code: CodeNoAuditState, Message: "no audit state"}).Marshal()
 	ping, errPing := (&Ping{Nonce: 0x0102030405060708}).Marshal()
+	shareReq, errShareReq := (&ShareRequest{Key: "f/share/0"}).Marshal()
+	shareData, errShareData := (&ShareData{Key: "f/share/0", Share: []byte{0xDE, 0xAD, 0xBE, 0xEF}}).Marshal()
 
 	vectors := []struct {
 		name string
@@ -67,21 +69,25 @@ func TestGoldenVectors(t *testing.T) {
 		want string
 	}{
 		{"Hello", goldenFrame(t, MsgHello, 1, hello, errHello),
-			"0000001101010000000000000001000573702d3030"},
+			"0000001102010000000000000001000573702d3030"},
 		{"Accepted", goldenFrame(t, MsgAccepted, 2, accepted, errAccepted),
-			"0000001701030000000000000002000b61756469743a6f3a703a66"},
+			"0000001702030000000000000002000b61756469743a6f3a703a66"},
 		{"Challenge", goldenFrame(t, MsgChallenge, 3, chal, errChal),
-			"0000004b01040000000000000003000b61756469743a6f3a703a66" +
+			"0000004b02040000000000000003000b61756469743a6f3a703a66" +
 				"000102030405060708090a0b0c0d0e0f" +
 				"101112131415161718191a1b1c1d1e1f" +
 				"202122232425262728292a2b2c2d2e2f" +
 				"0000012c"},
 		{"Proof", goldenFrame(t, MsgProof, 4, proof, errProof),
-			"0000001e01050000000000000004000b61756469743a6f3a703a6600000003aabbcc"},
+			"0000001e02050000000000000004000b61756469743a6f3a703a6600000003aabbcc"},
 		{"Error", goldenFrame(t, MsgError, 5, wireErr, errErr),
-			"0000001e0106000000000000000500000003000e6e6f206175646974207374617465"},
+			"0000001e0206000000000000000500000003000e6e6f206175646974207374617465"},
 		{"Ping", goldenFrame(t, MsgPing, 6, ping, errPing),
-			"0000001201070000000000000006" + "0102030405060708"},
+			"0000001202070000000000000006" + "0102030405060708"},
+		{"ShareRequest", goldenFrame(t, MsgShareRequest, 7, shareReq, errShareReq),
+			"000000150208" + "0000000000000007" + "0009662f73686172652f30"},
+		{"ShareData", goldenFrame(t, MsgShareData, 8, shareData, errShareData),
+			"0000001d0209" + "0000000000000008" + "0009662f73686172652f30" + "00000004deadbeef"},
 	}
 	for _, v := range vectors {
 		if v.got != v.want {
@@ -207,6 +213,39 @@ func TestMessageRoundTrips(t *testing.T) {
 			t.Fatalf("got %+v, %v", got, err)
 		}
 	})
+	t.Run("ShareRequest", func(t *testing.T) {
+		b, err := (&ShareRequest{Key: "archive/share/3"}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalShareRequest(b)
+		if err != nil || got.Key != "archive/share/3" {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("ShareData", func(t *testing.T) {
+		want := &ShareData{Key: "archive/share/3", Share: bytes.Repeat([]byte{0x5A}, 4096)}
+		b, err := want.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalShareData(b)
+		if err != nil || got.Key != want.Key || !bytes.Equal(got.Share, want.Share) {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("ShareDataEmpty", func(t *testing.T) {
+		// A zero-length share is a legal (if useless) object; the encoding
+		// must distinguish it from a missing blob.
+		b, err := (&ShareData{Key: "k"}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalShareData(b)
+		if err != nil || got.Key != "k" || len(got.Share) != 0 {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
 }
 
 func TestMessageRejectsTrailingBytes(t *testing.T) {
@@ -222,6 +261,20 @@ func TestMessageRejectsTrailingBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := UnmarshalPing(append(ping, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+	req, err := (&ShareRequest{Key: "k"}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalShareRequest(append(req, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+	sd, err := (&ShareData{Key: "k", Share: []byte{1}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalShareData(append(sd, 0)); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("trailing byte accepted: %v", err)
 	}
 }
