@@ -9,7 +9,7 @@
 //	go run ./cmd/experiments -exp fig7 -quick  # smaller workloads
 //
 // Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 beacon
-// attack confidence entropy scheduler churn.
+// attack confidence entropy scheduler churn soak.
 //
 // Absolute timings depend on this implementation's big.Int-based curve
 // arithmetic (the paper used assembly-optimized ECC); EXPERIMENTS.md
@@ -59,6 +59,7 @@ var registry = []experiment{
 	{"entropy", "Merkle challenge-entropy exhaustion (Sec. II)", runEntropy},
 	{"scheduler", "Concurrent audit scheduler vs sequential driver", runScheduler},
 	{"churn", "Repair under provider churn: durability and latency", runChurn},
+	{"soak", "Sharded scheduler at scale: O(due) ticks, spill-bounded memory", runSoak},
 }
 
 func main() {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/dsnaudit/sched"
+)
+
+// runSoak measures the sharded scheduler at planetary scale: two engagement
+// populations, the second twice the first, staggered so both wake the same
+// number of engagements per tick. An O(due) scheduler shows the same
+// per-tick latency for both — the wake queues never look at engagements
+// that are not due — while a linear scan's ticks double with the
+// population. The run also pins the memory story: audit state lives in a
+// disk spill store with a fixed hydration window, so peak heap tracks the
+// window, not the population.
+//
+// The checks behind "soak gate: PASS" (CI runs this in -quick mode):
+//   - per-tick latency does not grow as the run progresses (flatness),
+//   - doubling the population at constant due/tick does not grow tick
+//     latency past the scaling threshold (O(due), not O(total)),
+//   - peak heap stays under a ceiling sized to the hydration window.
+func runSoak(ctx *expCtx) error {
+	type sizing struct {
+		label       string
+		engagements int
+		interval    uint64
+		window      int
+	}
+	var sizes [2]sizing
+	var heapCeiling uint64
+	if ctx.quick {
+		sizes = [2]sizing{
+			{"5k", 5_000, 64, 512},
+			{"10k", 10_000, 128, 512},
+		}
+		heapCeiling = 256 << 20
+	} else {
+		sizes = [2]sizing{
+			{"50k", 50_000, 128, 1024},
+			{"100k", 100_000, 256, 1024},
+		}
+		heapCeiling = 1 << 30
+	}
+
+	const (
+		maxFlatness = 2.0 // per-tick latency growth across one run
+		maxScaling  = 2.0 // busy-tick latency growth when the population doubles
+	)
+
+	var reports [2]*sched.SoakReport
+	for i, sz := range sizes {
+		dir, err := os.MkdirTemp("", "soak-spill-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		rep, err := sched.RunSoak(sched.SoakConfig{
+			Engagements: sz.engagements,
+			Interval:    sz.interval,
+			Parallelism: ctx.workers,
+			SpillDir:    dir,
+			SpillWindow: sz.window,
+			Logf:        func(format string, args ...any) { ctx.printf(format+"\n", args...) },
+		})
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		ctx.printf("%-6s %7d engagements  %4d ticks  due/tick ~%-4d  busy median %-10v  p99 %-10v  flatness %.2f  heap peak %d MB  rss peak %d MB  spills %d  hydrates %d\n",
+			sz.label, rep.Engagements, rep.Ticks, sz.engagements/int(sz.interval),
+			busyMedian(rep).Round(10*time.Microsecond), rep.TickP99.Round(10*time.Microsecond),
+			rep.FlatnessRatio, rep.HeapPeak>>20, rep.RSSPeakKB>>10, rep.Spill.Spills, rep.Spill.Hydrates)
+		ctx.printf("%-6s tick-latency deciles (median per run-tenth):", sz.label)
+		for _, d := range rep.TickMedians {
+			ctx.printf(" %v", d.Round(10*time.Microsecond))
+		}
+		ctx.printf("\n")
+	}
+
+	var failures []string
+	for i, rep := range reports {
+		if rep.FlatnessRatio > maxFlatness {
+			failures = append(failures, fmt.Sprintf(
+				"%s: per-tick latency grew %.2fx across the run (limit %.1fx)",
+				sizes[i].label, rep.FlatnessRatio, maxFlatness))
+		}
+		if rep.HeapPeak > heapCeiling {
+			failures = append(failures, fmt.Sprintf(
+				"%s: heap peak %d MB exceeds the %d MB ceiling",
+				sizes[i].label, rep.HeapPeak>>20, heapCeiling>>20))
+		}
+	}
+	small, large := busyMedian(reports[0]), busyMedian(reports[1])
+	if small > 0 {
+		if ratio := float64(large) / float64(small); ratio > maxScaling {
+			failures = append(failures, fmt.Sprintf(
+				"busy tick latency scaled %.2fx when the population doubled at constant due/tick (limit %.1fx)",
+				ratio, maxScaling))
+		} else {
+			ctx.printf("scaling: %s -> %s busy median %v -> %v (%.2fx at constant due/tick)\n",
+				sizes[0].label, sizes[1].label,
+				small.Round(10*time.Microsecond), large.Round(10*time.Microsecond), ratio)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			ctx.printf("soak gate: %s\n", f)
+		}
+		return fmt.Errorf("soak gate: FAIL (%d check(s))", len(failures))
+	}
+	ctx.printf("soak gate: PASS\n")
+	return nil
+}
+
+// busyMedian is the median tick latency while the full population is still
+// live: the median of the run's first-half decile medians. The back half of
+// a soak retires engagements, so its ticks measure a shrinking due set.
+func busyMedian(rep *sched.SoakReport) time.Duration {
+	firstHalf := append([]time.Duration(nil), rep.TickMedians[:5]...)
+	return medianOf(firstHalf)
+}
+
+func medianOf(s []time.Duration) time.Duration {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -351,6 +351,22 @@ func (e *Engagement) RunAll(ctx context.Context) (int, error) {
 	return passed, nil
 }
 
+// Network returns the simulation network the engagement is bound to.
+// External drivers (dsnaudit/sched) need it to share the engagement's chain
+// and reputation ledger.
+func (e *Engagement) Network() *Network { return e.network }
+
+// SettleMissedDeadline settles a missed proof deadline on behalf of an
+// external driver: the contract slashes the provider and reputation records
+// the miss. It is the exported face of the scheduler's deadline path; the
+// sequential RunRound driver calls it internally.
+func (e *Engagement) SettleMissedDeadline() error { return e.missDeadline() }
+
+// RecordSettledRound feeds one settled round's verdict into the reputation
+// ledger on behalf of an external driver, exactly as the in-package
+// Scheduler does after each settlement.
+func (e *Engagement) RecordSettledRound(passed bool) { e.recordOutcome(passed) }
+
 // missDeadline settles a missed proof deadline: the contract slashes the
 // provider and reputation records the miss.
 func (e *Engagement) missDeadline() error {

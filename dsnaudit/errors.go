@@ -1,6 +1,9 @@
 package dsnaudit
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors returned by the public API. Wrapped errors carry the
 // contextual detail (provider name, contract address); match with errors.Is.
@@ -82,7 +85,46 @@ var (
 	// hash check, or a reconstructed blob fails the content hash: the data a
 	// holder served is not the data the owner placed.
 	ErrShareCorrupt = errors.New("dsnaudit: share failed integrity check")
+
+	// ErrOverloaded is returned by a provider (or its transport) that is at
+	// its proving-admission limit: the request was understood and refused,
+	// not lost. It is explicitly NOT a slashable offense — the provider is
+	// alive and honest, just saturated — so schedulers retry the challenge
+	// after a backoff instead of parking the engagement on the missed-round
+	// path. Wrap it in an OverloadedError to carry the provider's
+	// retry-after hint.
+	ErrOverloaded = errors.New("dsnaudit: provider overloaded")
 )
+
+// OverloadedError is ErrOverloaded with the provider's backoff hint
+// attached. RetryAfter is in blocks (the scheduler's clock); 0 leaves the
+// backoff to the caller. It unwraps to ErrOverloaded, so errors.Is keeps
+// working for callers that don't care about the hint.
+type OverloadedError struct {
+	RetryAfter uint64
+	Detail     string
+}
+
+// Error implements the error interface.
+func (e *OverloadedError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%v (retry after %d blocks): %s", ErrOverloaded, e.RetryAfter, e.Detail)
+	}
+	return fmt.Sprintf("%v (retry after %d blocks)", ErrOverloaded, e.RetryAfter)
+}
+
+// Unwrap ties the typed error to the ErrOverloaded sentinel.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfterHint extracts the provider's backoff hint from an overload
+// error chain, or 0 when the error carries none.
+func RetryAfterHint(err error) uint64 {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
 
 // IsTransportError reports whether err is a transport-level failure — the
 // provider unreachable, the response window blown, or the peer speaking the

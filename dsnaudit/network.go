@@ -42,6 +42,14 @@ func WithVerifyGas(gas uint64) NetworkOption {
 	return func(n *Network) { n.verifyGas = gas }
 }
 
+// WithChainConfig replaces the default chain parameters — scale harnesses
+// raise the block gas limit (so bursts of setup transactions fit) and set a
+// retention window (so a long soak does not hold every block body in
+// memory).
+func WithChainConfig(cfg chain.Config) NetworkOption {
+	return func(n *Network) { n.Chain = chain.New(cfg) }
+}
+
 // NewNetwork creates a simulation with default Ethereum-like parameters and
 // the paper's Fig. 5 verification gas.
 func NewNetwork(opts ...NetworkOption) (*Network, error) {
@@ -82,11 +90,24 @@ func (n *Network) AddProvider(name string, funds *big.Int) (*ProviderNode, error
 		Store:   storage.NewProvider(name),
 		DHTNode: node,
 		network: n,
-		provers: make(map[chain.Address]*core.Prover),
+		provers: newMapProverStore(),
 	}
 	n.providers[name] = p
 	n.Chain.Fund(chain.Address(name), funds)
 	return p, nil
+}
+
+// AdoptEngagement wraps an already-deployed audit contract as an Engagement
+// bound to this network, bypassing the Engage negotiation. Scale harnesses
+// use it to drive contracts they deployed and initialized by hand (the soak
+// experiment deploys 100k of them); the responder defaults to the provider
+// node itself when t is nil. The caller is responsible for the contract
+// being in a schedulable state (acknowledged and frozen).
+func (n *Network) AdoptEngagement(k *contract.Contract, o *Owner, p *ProviderNode, t Responder) *Engagement {
+	if t == nil {
+		t = p
+	}
+	return &Engagement{Contract: k, Owner: o, Provider: p, Responder: t, ShareIndex: -1, network: n}
 }
 
 // Provider returns a registered provider by name.

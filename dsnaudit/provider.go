@@ -61,6 +61,55 @@ type RepairPeer interface {
 	SharePlacer
 }
 
+// ProverStore is where a provider node keeps per-contract audit state. The
+// default is an in-memory map; a spill-backed store (dsnaudit/sched's
+// SpillStore) keeps only a hydration window of provers resident and pages
+// the rest to disk, which is what bounds a node's memory at planetary
+// engagement counts. Implementations must be safe for concurrent use.
+type ProverStore interface {
+	// PutProver installs (or replaces) the audit state for a contract.
+	PutProver(contractAddr chain.Address, p *core.Prover) error
+	// GetProver returns the audit state for a contract; ok is false when
+	// the store has no state for it. A non-nil error means the store could
+	// not answer (e.g. a spill record failed its integrity check) — a
+	// different condition from "never held it".
+	GetProver(contractAddr chain.Address) (*core.Prover, bool, error)
+	// DeleteProver discards the audit state for a contract; deleting an
+	// absent contract is a no-op.
+	DeleteProver(contractAddr chain.Address) error
+}
+
+// mapProverStore is the default ProverStore: everything resident, no spill.
+type mapProverStore struct {
+	mu      sync.RWMutex
+	provers map[chain.Address]*core.Prover
+}
+
+func newMapProverStore() *mapProverStore {
+	return &mapProverStore{provers: make(map[chain.Address]*core.Prover)}
+}
+
+func (s *mapProverStore) PutProver(addr chain.Address, p *core.Prover) error {
+	s.mu.Lock()
+	s.provers[addr] = p
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *mapProverStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
+	s.mu.RLock()
+	p, ok := s.provers[addr]
+	s.mu.RUnlock()
+	return p, ok, nil
+}
+
+func (s *mapProverStore) DeleteProver(addr chain.Address) error {
+	s.mu.Lock()
+	delete(s.provers, addr)
+	s.mu.Unlock()
+	return nil
+}
+
 // ProviderNode is a storage provider: blob store plus audit responders.
 // Its audit-state methods are safe for concurrent use, so one provider can
 // serve many simultaneous engagements.
@@ -84,8 +133,7 @@ type ProviderNode struct {
 
 	network *Network
 
-	mu      sync.RWMutex
-	provers map[chain.Address]*core.Prover
+	provers ProverStore
 }
 
 var _ RepairPeer = (*ProviderNode)(nil)
@@ -100,8 +148,18 @@ func NewProviderNode(name string) *ProviderNode {
 	return &ProviderNode{
 		Name:    name,
 		Store:   storage.NewProvider(name),
-		provers: make(map[chain.Address]*core.Prover),
+		provers: newMapProverStore(),
 	}
+}
+
+// SetProverStore swaps the node's audit-state store, e.g. for a spill-backed
+// store that bounds resident memory. It must be called before any audit
+// state is installed: existing state is not migrated.
+func (p *ProviderNode) SetProverStore(s ProverStore) {
+	if s == nil {
+		s = newMapProverStore()
+	}
+	p.provers = s
 }
 
 // Address returns the provider's chain account.
@@ -128,10 +186,29 @@ func (p *ProviderNode) AcceptAuditData(ctx context.Context, contractAddr chain.A
 		return err
 	}
 	prover.Workers = p.Workers
-	p.mu.Lock()
-	p.provers[contractAddr] = prover
-	p.mu.Unlock()
-	return nil
+	return p.provers.PutProver(contractAddr, prover)
+}
+
+// InstallAuditState stores audit state without the authenticator-sample
+// validation AcceptAuditData performs and without cloning the inputs. It
+// exists for scale harnesses (the soak experiment installs 100k+ states and
+// cannot afford a pairing check per engagement) and for rehydration paths
+// where the state was already validated before it was spilled. Real
+// engagements go through AcceptAuditData.
+func (p *ProviderNode) InstallAuditState(contractAddr chain.Address, pk *core.PublicKey, ef *core.EncodedFile, auths []*core.Authenticator) error {
+	prover, err := core.NewProver(pk, ef, auths)
+	if err != nil {
+		return err
+	}
+	prover.Workers = p.Workers
+	return p.provers.PutProver(contractAddr, prover)
+}
+
+// DropAuditState discards the audit state for a contract — the cleanup a
+// provider performs when an engagement reaches a terminal state and the
+// contract can never be challenged again.
+func (p *ProviderNode) DropAuditState(contractAddr chain.Address) error {
+	return p.provers.DeleteProver(contractAddr)
 }
 
 // sampleIndices spreads sampleSize distinct indices evenly over [0, n).
@@ -159,9 +236,10 @@ func sampleIndices(n, sampleSize int) []int {
 // disconnected remote peer, a torn-down scheduler) stops the CPU burn
 // mid-proof instead of completing a proof nobody will collect.
 func (p *ProviderNode) Respond(ctx context.Context, contractAddr chain.Address, ch *core.Challenge) ([]byte, error) {
-	p.mu.RLock()
-	prover, ok := p.provers[contractAddr]
-	p.mu.RUnlock()
+	prover, ok, err := p.provers.GetProver(contractAddr)
+	if err != nil {
+		return nil, fmt.Errorf("provider %s, contract %s: %w", p.Name, contractAddr, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: provider %s, contract %s", ErrNoAuditState, p.Name, contractAddr)
 	}
@@ -194,10 +272,12 @@ func (p *ProviderNode) PutShare(ctx context.Context, key string, data []byte) er
 }
 
 // Prover exposes the provider's audit state for a contract (experiments
-// need it to inject corruption).
+// need it to inject corruption). A store that fails to answer (e.g. a
+// corrupt spill record) reads as "no state".
 func (p *ProviderNode) Prover(contractAddr chain.Address) (*core.Prover, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	pr, ok := p.provers[contractAddr]
+	pr, ok, err := p.provers.GetProver(contractAddr)
+	if err != nil {
+		return nil, false
+	}
 	return pr, ok
 }

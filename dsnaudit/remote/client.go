@@ -356,6 +356,13 @@ func (c *Client) mapRemoteError(f *wire.Frame) error {
 		// engagement handoff that hits it aborts without any reputation
 		// consequence.
 		return fmt.Errorf("%w: %s draining: %s", dsnaudit.ErrProviderUnreachable, c.addr, e.Message)
+	case wire.CodeOverloaded:
+		// The provider is alive but at its proving-admission limit. Not a
+		// transport failure and not a refusal to serve the contract: the
+		// typed error carries the retry-after hint so the scheduler can back
+		// off and re-ask while the challenge is still open, instead of
+		// letting the deadline lapse into a slash.
+		return &dsnaudit.OverloadedError{RetryAfter: uint64(e.RetryAfter), Detail: fmt.Sprintf("%s: %s", c.addr, e.Message)}
 	case wire.CodeBadRequest:
 		// The peer could not decode what we sent: a protocol-level
 		// failure, not an audit verdict.

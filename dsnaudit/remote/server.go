@@ -41,6 +41,13 @@ type Server struct {
 	node *dsnaudit.ProviderNode
 	logf func(format string, args ...any)
 
+	// Admission control for proving: proofSem (when non-nil) bounds how many
+	// challenges the node proves at once; requests past the bound are
+	// refused immediately with CodeOverloaded and the retry-after hint
+	// instead of queueing unboundedly behind a saturated CPU.
+	proofSem   chan struct{}
+	retryAfter uint32
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -54,6 +61,23 @@ type ServerOption func(*Server)
 // Pass a no-op to silence it.
 func WithServerLog(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithMaxInflightProofs bounds the server's concurrent proving to n
+// challenges; a challenge arriving past the bound is answered immediately
+// with CodeOverloaded carrying retryAfter (in blocks) as the backoff hint.
+// Overload is an explicit, honest refusal — the driver's scheduler retries
+// the still-open challenge instead of slashing — which is what keeps a
+// saturated provider from being punished as an absent one. n <= 0 leaves
+// admission unbounded (the default). Only proving is gated: audit-data
+// handoffs, share fetches and pings are cheap and always admitted.
+func WithMaxInflightProofs(n int, retryAfter uint32) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.proofSem = make(chan struct{}, n)
+			s.retryAfter = retryAfter
+		}
+	}
 }
 
 // NewServer wraps a provider node. The same node may serve any number of
@@ -288,6 +312,17 @@ func (s *Server) handleFrame(ctx context.Context, w *connWriter, f *wire.Frame) 
 			s.sendError(w, f.ID, wire.CodeBadRequest, err.Error())
 			return
 		}
+		if s.proofSem != nil {
+			select {
+			case s.proofSem <- struct{}{}:
+				defer func() { <-s.proofSem }()
+			default:
+				// Full admission window: refuse now, cheaply and honestly,
+				// rather than queue CPU-heavy proving without bound.
+				s.sendOverloaded(w, f.ID, fmt.Sprintf("proving at capacity (%d in flight)", cap(s.proofSem)))
+				return
+			}
+		}
 		proof, err := s.node.Respond(ctx, m.Contract, m.Chal)
 		if err != nil {
 			code := wire.CodeInternal
@@ -361,6 +396,15 @@ func (s *Server) sendError(w *connWriter, id uint64, code uint32, msg string) {
 		msg = msg[:900] + "..."
 	}
 	payload, err := (&wire.Error{Code: code, Message: msg}).Marshal()
+	if err != nil {
+		return
+	}
+	_ = w.send(&wire.Frame{Type: wire.MsgError, ID: id, Payload: payload})
+}
+
+// sendOverloaded writes the admission refusal with the retry-after hint.
+func (s *Server) sendOverloaded(w *connWriter, id uint64, msg string) {
+	payload, err := (&wire.Error{Code: wire.CodeOverloaded, Message: msg, RetryAfter: s.retryAfter}).Marshal()
 	if err != nil {
 		return
 	}

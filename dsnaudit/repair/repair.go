@@ -95,13 +95,28 @@ type Record struct {
 	Err        error  // nil on success
 }
 
+// Scheduler is the driver surface the repair manager needs: registering
+// follow-up engagements and hooking outcomes and block ticks. Both
+// dsnaudit.Scheduler and the sharded dsnaudit/sched.Scheduler satisfy it,
+// so repair plugs into either driver unchanged.
+type Scheduler interface {
+	// Add registers an engagement with the driver.
+	Add(*dsnaudit.Engagement) error
+	// OnOutcome registers a hook for terminal engagement outcomes. Hooks
+	// must run on the driver's own goroutine with no driver lock held (they
+	// re-enter Add).
+	OnOutcome(func(dsnaudit.Outcome))
+	// OnBlock registers a per-tick hook, called with the block height.
+	OnBlock(func(uint64))
+}
+
 // Manager drives the repair pipeline for tracked sharded files. Create it
 // with NewManager before Scheduler.Run starts; it registers the outcome and
 // block hooks it needs. Safe for concurrent use.
 type Manager struct {
 	owner   *dsnaudit.Owner
 	net     *dsnaudit.Network
-	sched   *dsnaudit.Scheduler
+	sched   Scheduler
 	peerFor func(*dsnaudit.ProviderNode) dsnaudit.RepairPeer
 	horizon uint64
 
@@ -134,7 +149,7 @@ type slot struct {
 // NewManager creates a repair manager bound to one owner and one scheduler
 // and registers its scheduler hooks. Call before Scheduler.Run: outcomes
 // are not replayed for late subscribers.
-func NewManager(owner *dsnaudit.Owner, sched *dsnaudit.Scheduler, opts ...Option) *Manager {
+func NewManager(owner *dsnaudit.Owner, sched Scheduler, opts ...Option) *Manager {
 	m := &Manager{
 		owner:   owner,
 		net:     owner.Network(),

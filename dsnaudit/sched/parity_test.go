@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/dsnaudit"
+	"repro/internal/beacon"
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+func eth(n int64) *big.Int {
+	return new(big.Int).Mul(big.NewInt(n), big.NewInt(1e18))
+}
+
+func smallTerms(rounds int) dsnaudit.EngagementTerms {
+	terms := dsnaudit.DefaultTerms(rounds)
+	terms.ChallengeSize = 4
+	return terms
+}
+
+// brokenResponder fails every challenge: the deadline/slash path.
+type brokenResponder struct{}
+
+func (brokenResponder) Respond(context.Context, chain.Address, *core.Challenge) ([]byte, error) {
+	return nil, errors.New("responder down")
+}
+
+// parityFixture is one deterministic many-owner deployment: an EngageAll
+// set over every holder of a shared file, an extra honest engagement, a
+// cheater whose audit state is fully corrupted, and a provider whose
+// responder is dead. Built from a seeded beacon so two fixtures with the
+// same seed produce identical challenges, proofs apart, and therefore
+// identical chains.
+type parityFixture struct {
+	net  *dsnaudit.Network
+	engs []*dsnaudit.Engagement
+}
+
+func buildParityFixture(t *testing.T, seed string, rounds int) *parityFixture {
+	t.Helper()
+	b, err := beacon.NewTrusted([]byte(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dsnaudit.NewNetwork(dsnaudit.WithBeacon(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := net.AddProvider("sp-"+string(rune('a'+i)), eth(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	terms := smallTerms(rounds)
+	data := make([]byte, 600)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+
+	alice, err := dsnaudit.NewOwner(net, "alice", 4, eth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := alice.Outsource("shared-file", data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := alice.EngageAll(sf, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bob, err := dsnaudit.NewOwner(net, "bob", 4, eth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfB, err := bob.Outsource("bob-file", data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := bob.Engage(sfB, sfB.Holders[0], terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	carol, err := dsnaudit.NewOwner(net, "carol", 4, eth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfC, err := carol.Outsource("carol-file", data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engC, err := carol.Engage(sfC, sfC.Holders[0], terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, ok := engC.Provider.Prover(engC.Contract.Addr)
+	if !ok {
+		t.Fatal("cheater prover state missing")
+	}
+	for i := 0; i < prover.File.NumChunks(); i++ {
+		prover.File.Corrupt(i, 0)
+	}
+
+	dave, err := dsnaudit.NewOwner(net, "dave", 4, eth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfD, err := dave.Outsource("dave-file", data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engD, err := dave.Engage(sfD, sfD.Holders[0], terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engD.Responder = brokenResponder{}
+
+	engs := append(append([]*dsnaudit.Engagement(nil), set.Engagements...), engB, engC, engD)
+	return &parityFixture{net: net, engs: engs}
+}
+
+// snapshot is everything behavioral parity is judged on: per-engagement
+// round accounting and terminal state, final chain height, total gas
+// burned, every party's balance, and every provider's reputation.
+type snapshot struct {
+	results  map[string]string
+	height   uint64
+	gas      uint64
+	balances map[string]string
+	trust    map[string]string
+}
+
+func engKey(e *dsnaudit.Engagement) string { return e.Owner.Name + "/" + e.Provider.Name }
+
+func takeSnapshot(t *testing.T, fx *parityFixture, result func(chain.Address) (dsnaudit.Result, bool)) *snapshot {
+	t.Helper()
+	s := &snapshot{
+		results:  make(map[string]string),
+		height:   fx.net.Chain.Height(),
+		gas:      fx.net.Chain.TotalGas(),
+		balances: make(map[string]string),
+		trust:    make(map[string]string),
+	}
+	owners := map[string]bool{}
+	for _, e := range fx.engs {
+		res, ok := result(e.ID())
+		if !ok {
+			t.Fatalf("no result for %s", e.ID())
+		}
+		s.results[engKey(e)] = fmt.Sprintf("rounds=%d passed=%d failed=%d state=%v err=%v",
+			res.Rounds, res.Passed, res.Failed, res.State, res.Err != nil)
+		s.balances[e.Provider.Name] = fx.net.Chain.Balance(chain.Address(e.Provider.Name)).String()
+		s.trust[e.Provider.Name] = fmt.Sprintf("%.9f", fx.net.Reputation.Trust(e.Provider.Name))
+		owners[e.Owner.Name] = true
+	}
+	for name := range owners {
+		s.balances[name] = fx.net.Chain.Balance(chain.Address(name)).String()
+	}
+	return s
+}
+
+func diffSnapshots(t *testing.T, label string, want, got *snapshot) {
+	t.Helper()
+	if got.height != want.height {
+		t.Errorf("%s: final height %d, want %d", label, got.height, want.height)
+	}
+	// Gas is compared within a tolerance, not exactly: each fixture seals
+	// and proves with fresh entropy, so proof calldata lengths wobble by a
+	// few bytes (16 gas each) per proof. Structural divergence — an extra
+	// round, a missed settlement, different batch amortization — moves
+	// total gas by tens of thousands and still trips this.
+	const gasTolerance = 8_000
+	if d := int64(got.gas) - int64(want.gas); d > gasTolerance || d < -gasTolerance {
+		t.Errorf("%s: total gas %d, want %d (±%d)", label, got.gas, want.gas, int64(gasTolerance))
+	}
+	for k, w := range want.results {
+		if g := got.results[k]; g != w {
+			t.Errorf("%s: %s result %q, want %q", label, k, g, w)
+		}
+	}
+	for k, w := range want.balances {
+		if g := got.balances[k]; g != w {
+			t.Errorf("%s: %s balance %s, want %s", label, k, g, w)
+		}
+	}
+	for k, w := range want.trust {
+		if g := got.trust[k]; g != w {
+			t.Errorf("%s: %s trust %s, want %s", label, k, g, w)
+		}
+	}
+}
+
+// TestShardedSchedulerMatchesLinearScan is the tentpole's behavioral
+// contract: the sharded, wake-queue scheduler at shard counts 1, 4 and 16
+// (and varying parallelism) produces exactly the outcomes, funds movement,
+// final chain height and reputation effects of dsnaudit.Scheduler's linear
+// scan on an identical fixture — honest rounds, a cheater's slashing, and a
+// dead responder's missed deadline included. Run under -race this is also
+// the sharded scheduler's synchronization test.
+func TestShardedSchedulerMatchesLinearScan(t *testing.T) {
+	const seed, rounds = "parity-seed", 3
+
+	ref := buildParityFixture(t, seed, rounds)
+	refSched := dsnaudit.NewScheduler(ref.net, dsnaudit.WithParallelism(2))
+	for _, e := range ref.engs {
+		if err := refSched.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := refSched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := takeSnapshot(t, ref, refSched.Result)
+
+	// Sanity: the fixture exercises all three outcome classes.
+	if want.results["carol/"+ref.engs[11].Provider.Name] == "" {
+		t.Fatal("fixture lost its cheater")
+	}
+
+	for _, tc := range []struct {
+		shards, par int
+	}{
+		{1, 1}, {1, 4}, {4, 2}, {16, 4},
+	} {
+		t.Run(fmt.Sprintf("shards=%d/par=%d", tc.shards, tc.par), func(t *testing.T) {
+			fx := buildParityFixture(t, seed, rounds)
+			sched := NewScheduler(fx.net, WithShards(tc.shards), WithParallelism(tc.par))
+			for _, e := range fx.engs {
+				if err := sched.Add(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sched.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			got := takeSnapshot(t, fx, sched.Result)
+			diffSnapshots(t, fmt.Sprintf("shards=%d", tc.shards), want, got)
+
+			st := sched.Stats()
+			if st.Challenges == 0 || st.Ticks == 0 {
+				t.Fatalf("stats did not accumulate: %+v", st)
+			}
+			if st.Queued != 0 {
+				t.Fatalf("%d entries still queued after completion", st.Queued)
+			}
+		})
+	}
+}
+
+// TestOutcomeHookReAdd pins the re-entry contract the repair subsystem
+// depends on: an outcome hook that Adds a follow-up engagement keeps the
+// Run loop driving instead of stranding it — across shard counts.
+func TestOutcomeHookReAdd(t *testing.T) {
+	b, err := beacon.NewTrusted([]byte("readd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dsnaudit.NewNetwork(dsnaudit.WithBeacon(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := net.AddProvider("sp-"+string(rune('a'+i)), eth(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner, err := dsnaudit.NewOwner(net, "owner", 4, eth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i * 5)
+	}
+	sf, err := owner.Outsource("readd-file", data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := owner.Engage(sf, sf.Holders[0], smallTerms(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := NewScheduler(net, WithShards(4), WithParallelism(2))
+	var followID chain.Address
+	sched.OnOutcome(func(o dsnaudit.Outcome) {
+		if o.ID != eng.ID() {
+			return
+		}
+		follow, err := owner.Engage(sf, sf.Holders[1], smallTerms(1))
+		if err != nil {
+			t.Errorf("follow-up engage: %v", err)
+			return
+		}
+		followID = follow.ID()
+		if err := sched.Add(follow); err != nil {
+			t.Errorf("follow-up add: %v", err)
+		}
+	})
+	if err := sched.Add(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := sched.Result(followID)
+	if !ok {
+		t.Fatal("follow-up engagement was never driven")
+	}
+	if res.State != contract.StateExpired || res.Passed != 1 {
+		t.Fatalf("follow-up result %+v, want one passed round and EXPIRED", res)
+	}
+}

@@ -1,0 +1,712 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/dsnaudit"
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+// Scheduler drives engagements on one chain with per-tick cost proportional
+// to the engagements due at that tick. It is behaviorally identical to
+// dsnaudit.Scheduler — same block schedule, same two-stage proof/settlement
+// pipeline, same outcomes, funds movement and slashing verdicts at any
+// shard count or parallelism — but scales to planetary engagement counts:
+//
+//   - Engagements are sharded by contract address; each shard keeps a
+//     height-indexed wake queue, so a tick pops exactly the due entries
+//     (O(due + log heights)) instead of scanning every registration.
+//   - Aggregate live/settling counts are maintained incrementally, so the
+//     completion check is O(1).
+//   - Terminal entries can be compacted (automatically with
+//     WithAutoCompact, or on demand with Compact), so a long-lived
+//     scheduler's memory tracks live engagements, not history.
+//   - Challenge admission is bounded per shard per tick
+//     (WithMaxInflightPerShard): excess due engagements are deferred to the
+//     next tick with no challenge issued and therefore no deadline running —
+//     backpressure that is not slashable by construction. A provider that
+//     refuses a challenge with dsnaudit.ErrOverloaded is likewise retried
+//     after its hinted backoff instead of being parked into a missed
+//     deadline.
+//
+// Determinism at any shard count comes from a global total order: every
+// entry carries its registration sequence number, per-shard pops are merged
+// and sorted by it before any contract is touched, and all contract-state
+// transitions happen sequentially on the Run goroutine in that order. The
+// shard structure parallelizes the bookkeeping, never the decision order.
+type Scheduler struct {
+	net         *dsnaudit.Network
+	workers     int // stage-1 proof-generation pool size
+	parallelism int // stage-2 settlement verification workers
+	verifier    dsnaudit.Verifier
+	maxInflight int // per-shard per-tick challenge admissions; 0 = unbounded
+	maxRetries  int // consecutive overload refusals before the deadline path
+	autoCompact bool
+
+	store *store
+
+	mu           sync.Mutex
+	running      bool
+	stats        Stats
+	outcomeHooks []func(dsnaudit.Outcome)
+	blockHooks   []func(uint64)
+}
+
+// Stats is the scheduler's cumulative operational accounting.
+type Stats struct {
+	Ticks      uint64 // blocks mined by Run
+	Woken      uint64 // entries popped from wake queues
+	Challenges uint64 // challenges issued
+	Deferrals  uint64 // challenges deferred by per-shard admission
+	Retries    uint64 // overloaded challenges re-dispatched
+	Overloads  uint64 // ErrOverloaded refusals observed
+	Compacted  uint64 // terminal entries dropped
+	Queued     int    // entries currently armed in wake queues
+	Live       int    // entries not yet terminal
+}
+
+// Option customizes NewScheduler.
+type Option func(*Scheduler)
+
+// WithShards sets the shard count (default 1). Shards spread the wake-queue
+// work across goroutines; outcomes are identical at any count.
+func WithShards(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.store = newStore(n)
+		}
+	}
+}
+
+// WithWorkers sets the stage-1 proof-generation pool size alone.
+func WithWorkers(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithParallelism bounds the whole pipeline to n-way parallelism, like
+// dsnaudit.WithParallelism.
+func WithParallelism(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
+			s.parallelism = n
+		}
+	}
+}
+
+// WithVerifier overrides the settlement strategy (default: a fresh
+// dsnaudit.BatchVerifier).
+func WithVerifier(v dsnaudit.Verifier) Option {
+	return func(s *Scheduler) {
+		if v != nil {
+			s.verifier = v
+		}
+	}
+}
+
+// WithMaxInflightPerShard bounds how many challenges each shard may issue
+// per tick. A due engagement past the bound is deferred to the next tick:
+// its challenge is never issued, so no proof deadline starts and the
+// deferral cannot slash anyone — admission control, not punishment.
+// Engagements adopted with a challenge already open are exempt (their
+// deadline is already running; deferring them is what would slash).
+// n <= 0 leaves admission unbounded (the default).
+func WithMaxInflightPerShard(n int) Option {
+	return func(s *Scheduler) { s.maxInflight = n }
+}
+
+// WithOverloadRetries sets how many consecutive ErrOverloaded refusals of
+// one challenge the scheduler absorbs (re-asking after each hinted backoff)
+// before treating the provider as absent and parking the engagement on the
+// proof-deadline path. The default is 16; n <= 0 retries forever.
+func WithOverloadRetries(n int) Option {
+	return func(s *Scheduler) { s.maxRetries = n }
+}
+
+// WithAutoCompact drops every terminal entry the moment its outcome hooks
+// have run, keeping a long-lived scheduler's memory proportional to live
+// engagements. Results/Result stop reporting compacted engagements —
+// terminal accounting is delivered through the outcome hooks, which fire
+// before the entry is dropped.
+func WithAutoCompact() Option {
+	return func(s *Scheduler) { s.autoCompact = true }
+}
+
+// WithOutcomeHook registers fn for every terminal engagement, like
+// OnOutcome.
+func WithOutcomeHook(fn func(dsnaudit.Outcome)) Option {
+	return func(s *Scheduler) { s.outcomeHooks = append(s.outcomeHooks, fn) }
+}
+
+// WithBlockHook registers fn for every tick, like OnBlock.
+func WithBlockHook(fn func(uint64)) Option {
+	return func(s *Scheduler) { s.blockHooks = append(s.blockHooks, fn) }
+}
+
+// NewScheduler creates a sharded scheduler over the network's chain.
+func NewScheduler(n *dsnaudit.Network, opts ...Option) *Scheduler {
+	s := &Scheduler{
+		net:         n,
+		workers:     runtime.GOMAXPROCS(0),
+		parallelism: runtime.GOMAXPROCS(0),
+		verifier:    &dsnaudit.BatchVerifier{},
+		maxRetries:  16,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.store == nil {
+		s.store = newStore(1)
+	}
+	return s
+}
+
+// Add registers an engagement and arms it at the height it next acts:
+// its audit trigger, or the next tick for contracts adopted mid-round.
+// Engagements may be added before Run or while it executes (outcome hooks
+// re-enter Add to register follow-ups).
+func (s *Scheduler) Add(e *dsnaudit.Engagement) error {
+	if e.Contract.State().Terminal() {
+		return fmt.Errorf("%w: %s (%s)", dsnaudit.ErrContractClosed, e.ID(), e.Contract.State())
+	}
+	en, err := s.store.add(e)
+	if err != nil {
+		return err
+	}
+	if e.Contract.State() == contract.StateAudit {
+		s.store.arm(e.Contract.TriggerHeight(), en)
+	} else {
+		// Adopted mid-round (PROVE/SETTLE) or in a pre-audit state: due at
+		// the very next tick, exactly when the linear scan would see it.
+		s.store.arm(0, en)
+	}
+	return nil
+}
+
+// AddSet registers every engagement of a set.
+func (s *Scheduler) AddSet(set *dsnaudit.EngagementSet) error {
+	for _, e := range set.Engagements {
+		if err := s.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnOutcome registers fn for every engagement reaching a terminal state,
+// with the same delivery contract as dsnaudit.Scheduler.OnOutcome: hooks
+// run on the Run goroutine with no scheduler lock held, so they may call
+// Add.
+func (s *Scheduler) OnOutcome(fn func(dsnaudit.Outcome)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outcomeHooks = append(s.outcomeHooks, fn)
+}
+
+// OnBlock registers fn to run once per tick, after the block event and
+// before the wake pop, like dsnaudit.Scheduler.OnBlock.
+func (s *Scheduler) OnBlock(fn func(uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockHooks = append(s.blockHooks, fn)
+}
+
+// Result returns the accounting for one engagement. Compacted engagements
+// are no longer reported.
+func (s *Scheduler) Result(id chain.Address) (dsnaudit.Result, bool) {
+	s.store.mu.Lock()
+	defer s.store.mu.Unlock()
+	en, ok := s.store.byID[id]
+	if !ok {
+		return dsnaudit.Result{}, false
+	}
+	return en.result, true
+}
+
+// Results snapshots every non-compacted engagement's accounting.
+func (s *Scheduler) Results() map[chain.Address]dsnaudit.Result {
+	s.store.mu.Lock()
+	defer s.store.mu.Unlock()
+	out := make(map[chain.Address]dsnaudit.Result, len(s.store.byID))
+	for id, en := range s.store.byID {
+		out[id] = en.result
+	}
+	return out
+}
+
+// Compact drops every terminal entry from the registries and returns how
+// many were dropped. With WithAutoCompact this is a no-op.
+func (s *Scheduler) Compact() int {
+	s.store.mu.Lock()
+	defer s.store.mu.Unlock()
+	dropped := 0
+	for id, en := range s.store.byID {
+		if en.phase == phaseDone {
+			delete(s.store.byID, id)
+			dropped++
+		}
+	}
+	s.store.compacted += uint64(dropped)
+	return dropped
+}
+
+// Stats snapshots the scheduler's cumulative counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.Queued = s.store.queued()
+	s.store.mu.Lock()
+	st.Compacted = s.store.compacted
+	st.Live = s.store.live
+	s.store.mu.Unlock()
+	return st
+}
+
+type proofJob struct {
+	entry *entry
+	ch    *core.Challenge
+}
+
+type proofResult struct {
+	entry *entry
+	proof []byte
+	err   error
+}
+
+type settleJob struct {
+	entries []*entry
+	cs      []*contract.Contract
+	height  uint64
+}
+
+type settleOutcome struct {
+	entries []*entry
+	cs      []*contract.Contract
+	results []contract.SettleResult
+	err     error
+}
+
+// Run executes the block loop until every registered engagement reaches a
+// terminal state or ctx is canceled, with dsnaudit.Scheduler.Run's exact
+// cancellation and resume semantics: in-flight proofs drain, in-flight
+// settlements join, interrupted entries re-arm for the next Run.
+func (s *Scheduler) Run(ctx context.Context) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return dsnaudit.ErrSchedulerRunning
+	}
+	s.running = true
+	s.mu.Unlock()
+	defer func() {
+		// Entries interrupted mid-round keep an open challenge (PROVE) or a
+		// pending proof (SETTLE) on the contract; re-arm them so a later Run
+		// adopts and resumes them at its first tick.
+		var rearm []*entry
+		s.store.mu.Lock()
+		for _, en := range s.store.byID {
+			if en.phase == phaseProving || en.phase == phaseSettling {
+				en.phase = phaseWaiting
+				rearm = append(rearm, en)
+			}
+		}
+		s.store.mu.Unlock()
+		for _, en := range rearm {
+			s.store.arm(0, en)
+		}
+		s.mu.Lock()
+		s.running = false
+		s.mu.Unlock()
+	}()
+
+	sub := s.net.Chain.Subscribe()
+	defer sub.Unsubscribe()
+
+	// Stage 1: the proof-generation pool.
+	jobs := make(chan proofJob)
+	results := make(chan proofResult)
+	var proveWG sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		proveWG.Add(1)
+		go func() {
+			defer proveWG.Done()
+			for job := range jobs {
+				proof, err := job.entry.eng.Responder.Respond(ctx, job.entry.eng.Contract.Addr, job.ch)
+				results <- proofResult{entry: job.entry, proof: proof, err: err}
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		proveWG.Wait()
+	}()
+
+	// Stage 2: the settlement stage; at most one block in flight.
+	settleJobs := make(chan settleJob, 1)
+	settleOutcomes := make(chan settleOutcome, 1)
+	var settleWG sync.WaitGroup
+	settleWG.Add(1)
+	go func() {
+		defer settleWG.Done()
+		for job := range settleJobs {
+			res, err := s.verifier.SettleBlock(job.cs, job.height, s.parallelism)
+			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, err: err}
+		}
+	}()
+	defer func() {
+		close(settleJobs)
+		settleWG.Wait()
+	}()
+
+	outstanding := false
+	joinSettle := func() error {
+		if !outstanding {
+			return nil
+		}
+		outstanding = false
+		return s.recordSettlement(<-settleOutcomes)
+	}
+
+	for {
+		live, settling := s.store.counts()
+		if live == 0 {
+			if err := joinSettle(); err != nil {
+				return err
+			}
+			// An outcome hook may have registered follow-up engagements on
+			// the way here; keep driving instead of stranding them.
+			if live, _ = s.store.counts(); live > 0 {
+				continue
+			}
+			for s.net.Chain.PendingCount() > 0 {
+				s.net.Chain.MineBlock()
+			}
+			return nil
+		}
+		if live == settling {
+			// Every live engagement awaits its verdict; join rather than
+			// mine idle blocks. Deterministic: depends only on the counts.
+			if err := joinSettle(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if joinErr := joinSettle(); joinErr != nil {
+				return joinErr
+			}
+			return err
+		}
+
+		// One tick = one block, received through the subscription.
+		s.net.Chain.MineBlock()
+		var height uint64
+		select {
+		case blk := <-sub.Blocks():
+			height = blk.Number
+		case <-ctx.Done():
+			if err := joinSettle(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		s.mu.Lock()
+		s.stats.Ticks++
+		blockHooks := append([]func(uint64){}, s.blockHooks...)
+		s.mu.Unlock()
+		for _, fn := range blockHooks {
+			fn(height)
+		}
+
+		due, block := s.wakeAt(height)
+		adopted := len(block)
+
+		// Fan the due proofs out; drain results as they land. The previous
+		// tick's settlement may still be verifying — that is the overlap.
+		inflight := 0
+		aborted := false
+		ctxDone := ctx.Done()
+		for len(due) > 0 || inflight > 0 {
+			var jobCh chan proofJob
+			var next proofJob
+			if len(due) > 0 && !aborted {
+				jobCh = jobs
+				next = due[0]
+			}
+			select {
+			case jobCh <- next:
+				due = due[1:]
+				inflight++
+			case r := <-results:
+				inflight--
+				if !aborted && s.submit(ctx, height, r) {
+					block = append(block, r.entry)
+				}
+			case <-ctxDone:
+				aborted = true
+				due = nil
+				ctxDone = nil
+			}
+		}
+		if err := joinSettle(); err != nil {
+			return err
+		}
+		if aborted {
+			return ctx.Err()
+		}
+		if len(block) > adopted {
+			// Seal the newly submitted proofs before their verdicts land.
+			s.net.Chain.MineBlock()
+			select {
+			case <-sub.Blocks():
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if len(block) > 0 {
+			s.store.mu.Lock()
+			for _, en := range block {
+				en.phase = phaseSettling
+			}
+			s.store.settling += len(block)
+			s.store.mu.Unlock()
+			cs := make([]*contract.Contract, len(block))
+			for i, en := range block {
+				cs[i] = en.eng.Contract
+			}
+			settleJobs <- settleJob{entries: block, cs: cs, height: s.net.Chain.Height()}
+			outstanding = true
+		}
+	}
+}
+
+// wakeAt pops every shard's due entries at height h (concurrently, one
+// goroutine per shard), merges them, sorts by global sequence number, and
+// applies each entry's phase action in that order — the deterministic
+// counterpart of the linear scan's registration-order walk.
+func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
+	popped := s.store.popDue(h)
+	sort.Slice(popped, func(i, j int) bool { return popped[i].seq < popped[j].seq })
+
+	var challenges, deferrals, retries uint64
+	issued := make([]int, len(s.store.shards))
+	defer func() {
+		s.mu.Lock()
+		s.stats.Woken += uint64(len(popped))
+		s.stats.Challenges += challenges
+		s.stats.Deferrals += deferrals
+		s.stats.Retries += retries
+		s.mu.Unlock()
+	}()
+
+	for _, en := range popped {
+		e := en.eng
+		switch en.phase {
+		case phaseWaiting:
+			switch e.Contract.State() {
+			case contract.StateAudit:
+				if e.Contract.TriggerHeight() > h {
+					// Armed early (an Add racing a tick): wait it out.
+					s.store.arm(e.Contract.TriggerHeight(), en)
+					continue
+				}
+				if s.maxInflight > 0 && issued[en.shard] >= s.maxInflight {
+					// Admission full: defer with no challenge issued, so no
+					// deadline starts — the deferral cannot slash.
+					deferrals++
+					s.store.arm(h+1, en)
+					continue
+				}
+				ch, err := e.Contract.IssueChallenge()
+				if err != nil {
+					s.finish(en, err)
+					continue
+				}
+				if ch == nil {
+					// Trigger fired with no rounds left: contract expired.
+					s.finish(en, nil)
+					continue
+				}
+				issued[en.shard]++
+				challenges++
+				s.setPhase(en, phaseProving)
+				due = append(due, proofJob{entry: en, ch: ch})
+			case contract.StateProve:
+				// Adopted mid-round: resume the open challenge. Exempt from
+				// admission — its deadline is already running.
+				s.setPhase(en, phaseProving)
+				due = append(due, proofJob{entry: en, ch: e.Contract.CurrentChallenge()})
+			case contract.StateSettle:
+				// Adopted with a proof pending: settle it this tick.
+				s.setPhase(en, phaseProving)
+				block = append(block, en)
+			default:
+				s.finish(en, nil)
+			}
+		case phaseDeadline:
+			if e.Contract.TriggerHeight() > h {
+				s.store.arm(e.Contract.TriggerHeight(), en)
+				continue
+			}
+			if err := e.SettleMissedDeadline(); err != nil {
+				s.finish(en, err)
+				continue
+			}
+			s.recordRound(en, false)
+			s.finish(en, nil) // a missed deadline aborts the contract
+		case phaseRetry:
+			// The provider refused the open challenge with ErrOverloaded and
+			// the backoff has elapsed: re-ask. Counts against admission like
+			// a fresh challenge — retrying is load too.
+			if s.maxInflight > 0 && issued[en.shard] >= s.maxInflight {
+				deferrals++
+				s.store.arm(h+1, en)
+				continue
+			}
+			issued[en.shard]++
+			retries++
+			s.setPhase(en, phaseProving)
+			due = append(due, proofJob{entry: en, ch: e.Contract.CurrentChallenge()})
+		}
+	}
+	return due, block
+}
+
+// submit lands one proof result (phase 1, calldata only) and reports
+// whether the entry joined the block awaiting settlement. Failures map to
+// three distinct paths: cancellation leaves the entry for the resume
+// machinery; an overload refusal re-arms at the provider's hinted backoff
+// (bounded by WithOverloadRetries) with the challenge still open; any other
+// responder error parks the entry until the proof deadline slashes.
+func (s *Scheduler) submit(ctx context.Context, h uint64, r proofResult) bool {
+	en, e := r.entry, r.entry.eng
+	if r.err != nil {
+		if ctx.Err() != nil {
+			return false
+		}
+		if errors.Is(r.err, dsnaudit.ErrOverloaded) {
+			s.mu.Lock()
+			s.stats.Overloads++
+			s.mu.Unlock()
+			en.retries++
+			if s.maxRetries > 0 && en.retries > s.maxRetries {
+				// Persistently saturated is indistinguishable from absent:
+				// fall through to the deadline path like any failed round.
+				s.setPhase(en, phaseDeadline)
+				s.store.arm(e.Contract.TriggerHeight(), en)
+				return false
+			}
+			back := dsnaudit.RetryAfterHint(r.err)
+			if back < 1 {
+				back = 1
+			}
+			s.setPhase(en, phaseRetry)
+			s.store.arm(h+back, en)
+			return false
+		}
+		s.setPhase(en, phaseDeadline)
+		s.store.arm(e.Contract.TriggerHeight(), en)
+		return false
+	}
+	en.retries = 0
+	if err := e.Contract.SubmitProof(e.Provider.Address(), r.proof); err != nil {
+		s.finish(en, err)
+		return false
+	}
+	return true
+}
+
+// recordSettlement lands one settled block's verdicts, with the same order
+// and count validation as dsnaudit.Scheduler, then re-arms each surviving
+// entry at its next audit trigger.
+func (s *Scheduler) recordSettlement(out settleOutcome) error {
+	s.store.mu.Lock()
+	s.store.settling -= len(out.entries)
+	s.store.mu.Unlock()
+	if out.err != nil {
+		return out.err
+	}
+	if len(out.results) != len(out.entries) {
+		return fmt.Errorf("%w: %d results for %d contracts", dsnaudit.ErrVerifierMismatch, len(out.results), len(out.entries))
+	}
+	for i, res := range out.results {
+		if res.Addr != out.cs[i].Addr {
+			return fmt.Errorf("%w: result %d is for %s, want %s", dsnaudit.ErrVerifierMismatch, i, res.Addr, out.cs[i].Addr)
+		}
+	}
+	for i, res := range out.results {
+		en, e := out.entries[i], out.entries[i].eng
+		if res.Err != nil {
+			s.finish(en, res.Err)
+			continue
+		}
+		e.RecordSettledRound(res.Passed)
+		s.recordRound(en, res.Passed)
+		if e.Contract.State().Terminal() {
+			s.finish(en, nil)
+			continue
+		}
+		s.store.mu.Lock()
+		en.phase = phaseWaiting
+		en.result.State = e.Contract.State()
+		s.store.mu.Unlock()
+		s.store.arm(e.Contract.TriggerHeight(), en)
+	}
+	return nil
+}
+
+// setPhase updates an entry's phase under the store lock (Compact and the
+// accessors read phases concurrently).
+func (s *Scheduler) setPhase(en *entry, p phase) {
+	s.store.mu.Lock()
+	en.phase = p
+	s.store.mu.Unlock()
+}
+
+// recordRound updates an entry's pass/fail accounting.
+func (s *Scheduler) recordRound(en *entry, passed bool) {
+	s.store.mu.Lock()
+	defer s.store.mu.Unlock()
+	en.result.Rounds++
+	if passed {
+		en.result.Passed++
+	} else {
+		en.result.Failed++
+	}
+}
+
+// finish marks an entry terminal, delivers the outcome to the hooks with no
+// lock held, and (under WithAutoCompact) drops the entry.
+func (s *Scheduler) finish(en *entry, err error) {
+	s.store.mu.Lock()
+	en.phase = phaseDone
+	en.result.State = en.eng.Contract.State()
+	if err != nil {
+		en.result.Err = err
+	}
+	s.store.live--
+	if s.autoCompact {
+		delete(s.store.byID, en.eng.ID())
+		s.store.compacted++
+	}
+	out := dsnaudit.Outcome{ID: en.eng.ID(), Eng: en.eng, Result: en.result}
+	s.store.mu.Unlock()
+	s.mu.Lock()
+	hooks := s.outcomeHooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(out)
+	}
+}

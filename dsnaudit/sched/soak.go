@@ -1,0 +1,331 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/dsnaudit"
+	"repro/internal/beacon"
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+// SoakConfig sizes a scheduler soak: a population of engagements far larger
+// than any working set, driven to completion while per-tick latency and
+// memory are measured.
+type SoakConfig struct {
+	Engagements int    // live engagements (default 100_000)
+	Rounds      int    // audit rounds per engagement (default 2)
+	Interval    uint64 // trigger stagger window in blocks; due/tick ≈ Engagements/Interval (default 256)
+	Shards      int    // scheduler shards (default 16)
+	Parallelism int    // settlement parallelism (default GOMAXPROCS)
+	SpillDir    string // audit-state spill directory; "" keeps everything resident
+	SpillWindow int    // hydrated provers kept resident when spilling (default 1024)
+	AuditBytes  int    // audited payload per engagement (default 1024)
+	SampleEvery int    // heap-sample cadence in ticks (default 32)
+	Seed        string // beacon seed (default "soak")
+
+	// Logf, when set, receives setup/progress lines.
+	Logf func(format string, args ...any)
+
+	// Trace, when set, receives (height, cumulative woken) per tick.
+	Trace func(height uint64, woken uint64)
+}
+
+func (c *SoakConfig) applyDefaults() {
+	if c.Engagements <= 0 {
+		c.Engagements = 100_000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.Interval == 0 {
+		c.Interval = 256
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.SpillWindow <= 0 {
+		c.SpillWindow = 1024
+	}
+	if c.AuditBytes <= 0 {
+		c.AuditBytes = 1024
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 32
+	}
+	if c.Seed == "" {
+		c.Seed = "soak"
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// SoakReport is what a soak run measured.
+type SoakReport struct {
+	Engagements int
+	Ticks       uint64
+	Elapsed     time.Duration
+
+	// TickMedians[i] is the median tick latency of the i-th tenth of the
+	// run, in time order. A scheduler whose tick cost depends on total
+	// engagement count — a linear scan — shows it here; an O(due) scheduler
+	// stays flat while engagements retire.
+	TickMedians [10]time.Duration
+	TickP99     time.Duration
+	// FlatnessRatio is median(last tenth) / median(first tenth).
+	FlatnessRatio float64
+
+	HeapPeak  uint64 // sampled HeapAlloc high-water mark, bytes
+	RSSPeakKB uint64 // VmHWM from /proc/self/status; 0 when unavailable
+
+	Spill SpillStats // zero-valued when SpillDir was ""
+	Sched Stats
+}
+
+// soakVerifyGas is the modeled settlement gas; its exact value only feeds
+// the chain's accounting, which the soak does not assert on.
+const soakVerifyGas = 563_000
+
+// soakResponder answers challenges with canned proof bytes after touching
+// the provider's audit state. The touch is the point: every challenge
+// drives a ProverStore lookup, so a spill-backed store pages audit state
+// exactly as it would for real proving — while the proving itself (pairing
+// work the cryptographic benchmarks cover) stays out of the tick-latency
+// measurement.
+type soakResponder struct {
+	node *dsnaudit.ProviderNode
+}
+
+func (r soakResponder) Respond(_ context.Context, addr chain.Address, _ *core.Challenge) ([]byte, error) {
+	if _, ok := r.node.Prover(addr); !ok {
+		return nil, fmt.Errorf("sched: soak responder: no audit state for %s", addr)
+	}
+	return make([]byte, core.PrivateProofSize), nil
+}
+
+// RunSoak drives cfg.Engagements staggered engagements to completion
+// through a sharded scheduler with trusted settlement, measuring per-tick
+// latency and peak memory. Contracts are deployed through the real chain
+// machinery (deposits, triggers, per-round payments all execute); the
+// expensive per-engagement work real deployments amortize elsewhere —
+// owner-side Setup and provider-side proving — is replaced by one shared
+// audit state and canned proofs, so what the soak measures is scheduling.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	cfg.applyDefaults()
+	start := time.Now()
+
+	b, err := beacon.NewTrusted([]byte(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	chainCfg := chain.DefaultConfig()
+	chainCfg.BlockGasLimit = 1 << 62 // setup bursts and ~N/Interval proofs per block must fit
+	chainCfg.Retention = 64
+	net, err := dsnaudit.NewNetwork(dsnaudit.WithBeacon(b), dsnaudit.WithChainConfig(chainCfg))
+	if err != nil {
+		return nil, err
+	}
+
+	// Funds: every engagement escrows Rounds wei from the owner (one wei
+	// per round) and one wei from the provider.
+	funds := big.NewInt(int64(cfg.Engagements) * int64(cfg.Rounds+2))
+	owner, err := dsnaudit.NewOwner(net, "soak-owner", 2, funds)
+	if err != nil {
+		return nil, err
+	}
+	provider, err := net.AddProvider("soak-provider", funds)
+	if err != nil {
+		return nil, err
+	}
+	var spill *SpillStore
+	if cfg.SpillDir != "" {
+		spill, err = NewSpillStore(cfg.SpillDir, cfg.SpillWindow)
+		if err != nil {
+			return nil, err
+		}
+		provider.SetProverStore(spill)
+	}
+
+	// One shared audit state: the population differs in contracts and
+	// triggers, not in bytes.
+	data := make([]byte, cfg.AuditBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	ef, err := core.EncodeFile(data, 2)
+	if err != nil {
+		return nil, err
+	}
+	auths, err := core.Setup(owner.AuditSK, ef)
+	if err != nil {
+		return nil, err
+	}
+
+	sched := NewScheduler(net,
+		WithShards(cfg.Shards),
+		WithParallelism(cfg.Parallelism),
+		WithVerifier(TrustingVerifier{}),
+		WithAutoCompact(),
+	)
+	// Retired audit state is reclaimed the moment its engagement ends —
+	// resident memory tracks the live window, not history.
+	sched.OnOutcome(func(o dsnaudit.Outcome) {
+		_ = provider.DropAuditState(o.ID)
+	})
+
+	responder := soakResponder{node: provider}
+	cfg.Logf("soak: deploying %d engagements (stagger window %d blocks)", cfg.Engagements, cfg.Interval)
+	for i := 0; i < cfg.Engagements; i++ {
+		addr := chain.Address(fmt.Sprintf("audit:soak:%d", i))
+		agreement := contract.Agreement{
+			Owner:           owner.Address(),
+			Provider:        provider.Address(),
+			Rounds:          cfg.Rounds,
+			ChallengeSize:   2,
+			RoundInterval:   8 + uint64(i)%cfg.Interval,
+			ProofDeadline:   16,
+			PaymentPerRound: big.NewInt(1),
+			OwnerDeposit:    big.NewInt(int64(cfg.Rounds)),
+			ProviderDeposit: big.NewInt(1),
+			NumChunks:       ef.NumChunks(),
+			PublicKey:       owner.AuditSK.Pub,
+		}
+		k, err := contract.Deploy(net.Chain, addr, agreement, net.Beacon, soakVerifyGas)
+		if err != nil {
+			return nil, fmt.Errorf("deploy %d: %w", i, err)
+		}
+		if err := k.Negotiate(); err != nil {
+			return nil, err
+		}
+		if err := k.Acknowledge(provider.Address(), true); err != nil {
+			return nil, err
+		}
+		if err := k.Freeze(); err != nil {
+			return nil, err
+		}
+		if err := provider.InstallAuditState(addr, owner.AuditSK.Pub, ef, auths); err != nil {
+			return nil, err
+		}
+		if err := sched.Add(net.AdoptEngagement(k, owner, provider, responder)); err != nil {
+			return nil, err
+		}
+		// Drain the setup transaction burst; height drift is a handful of
+		// blocks against a stagger window of hundreds.
+		if i%8192 == 8191 {
+			net.Chain.MineBlock()
+		}
+	}
+	net.Chain.MineBlock()
+	cfg.Logf("soak: setup done in %v, running", time.Since(start).Round(time.Millisecond))
+
+	var (
+		lastTick  time.Time
+		latencies []time.Duration
+		heapPeak  uint64
+	)
+	sched.OnBlock(func(h uint64) {
+		if cfg.Trace != nil {
+			cfg.Trace(h, sched.Stats().Woken)
+		}
+		now := time.Now()
+		// Warm-up ticks before the first staggered trigger wake nobody and
+		// cost microseconds; they would poison the first-decile baseline
+		// the flatness ratio divides by.
+		if sched.Stats().Woken == 0 {
+			lastTick = now
+			return
+		}
+		if !lastTick.IsZero() {
+			latencies = append(latencies, now.Sub(lastTick))
+		}
+		lastTick = now
+		if len(latencies)%cfg.SampleEvery == 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > heapPeak {
+				heapPeak = ms.HeapAlloc
+			}
+		}
+	})
+
+	runStart := time.Now()
+	if err := sched.Run(context.Background()); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(runStart)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > heapPeak {
+		heapPeak = ms.HeapAlloc
+	}
+
+	rep := &SoakReport{
+		Engagements: cfg.Engagements,
+		Ticks:       sched.Stats().Ticks,
+		Elapsed:     elapsed,
+		HeapPeak:    heapPeak,
+		RSSPeakKB:   readVmHWM(),
+		Sched:       sched.Stats(),
+	}
+	if spill != nil {
+		rep.Spill = spill.Stats()
+	}
+	if len(latencies) >= 20 {
+		tenth := len(latencies) / 10
+		for i := 0; i < 10; i++ {
+			seg := latencies[i*tenth : (i+1)*tenth]
+			rep.TickMedians[i] = medianDuration(seg)
+		}
+		if rep.TickMedians[0] > 0 {
+			rep.FlatnessRatio = float64(rep.TickMedians[9]) / float64(rep.TickMedians[0])
+		}
+		all := append([]time.Duration(nil), latencies...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.TickP99 = all[len(all)*99/100]
+	}
+	return rep, nil
+}
+
+func medianDuration(seg []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), seg...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// readVmHWM returns the process's peak resident set in KB from
+// /proc/self/status, or 0 where that interface does not exist.
+func readVmHWM() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}

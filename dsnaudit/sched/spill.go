@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/dsnaudit"
+	"repro/internal/chain"
+	"repro/internal/core"
+)
+
+// SpillStore is a dsnaudit.ProverStore that keeps at most `limit` hydrated
+// provers resident and pages the rest to disk, bounding a provider node's
+// audit-state memory by its hydration window instead of its engagement
+// count. Per-engagement audit state (the encoded file plus authenticators)
+// dominates a node's footprint — at a million engagements it is gigabytes —
+// while the working set at any tick is only the engagements currently
+// proving; everything else can live in checksummed spill records
+// (core.MarshalAuditState) and rehydrate on demand.
+//
+// What stays resident per spilled engagement is the index entry: the public
+// key (shared across all of one owner's engagements, deliberately not part
+// of the spill record) and the worker bound. Rehydration is deterministic —
+// the spill codec round-trips exactly, pinned by the golden tests — so a
+// rehydrated prover produces byte-identical proofs given the same entropy.
+//
+// A record that fails its integrity check surfaces as a GetProver error
+// (distinct from "never held"), which a responder reports as a failed
+// round: audit state a provider cannot faithfully reproduce is exactly what
+// an audit is meant to catch, so corruption must never be papered over.
+//
+// Safe for concurrent use. Eviction I/O runs under the store lock: the
+// simplicity is deliberate, and the soak benchmark shows the spill path is
+// far from the tick-latency critical path at the target scale.
+type SpillStore struct {
+	dir   string
+	limit int
+
+	mu       sync.Mutex
+	resident map[chain.Address]*list.Element
+	lru      *list.List // front = most recently used *residentEntry
+	meta     map[chain.Address]*spillMeta
+	stats    SpillStats
+}
+
+type residentEntry struct {
+	addr   chain.Address
+	prover *core.Prover
+}
+
+// spillMeta is the always-resident index entry for one engagement.
+type spillMeta struct {
+	pub     *core.PublicKey
+	workers int
+	path    string // spill file; "" while the prover is resident
+}
+
+// SpillStats counts the store's paging activity.
+type SpillStats struct {
+	Spills       uint64 // provers written to disk on eviction
+	Hydrates     uint64 // provers read back from disk
+	Resident     int    // provers currently hydrated
+	ResidentPeak int    // high-water mark of Resident
+}
+
+var _ dsnaudit.ProverStore = (*SpillStore)(nil)
+
+// NewSpillStore creates a spill-backed prover store rooted at dir (created
+// if missing). limit is the hydration window; at least 1.
+func NewSpillStore(dir string, limit int) (*SpillStore, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("sched: spill store needs a hydration window >= 1, got %d", limit)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: spill dir: %w", err)
+	}
+	return &SpillStore{
+		dir:      dir,
+		limit:    limit,
+		resident: make(map[chain.Address]*list.Element),
+		lru:      list.New(),
+		meta:     make(map[chain.Address]*spillMeta),
+	}, nil
+}
+
+// Stats snapshots the store's paging counters.
+func (s *SpillStore) Stats() SpillStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// PutProver installs audit state, evicting least-recently-used provers past
+// the hydration window.
+func (s *SpillStore) PutProver(addr chain.Address, p *core.Prover) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.meta[addr]; ok && old.path != "" {
+		// Replacing a spilled engagement: the old record is stale.
+		os.Remove(old.path)
+	}
+	s.meta[addr] = &spillMeta{pub: p.Pub, workers: p.Workers}
+	if el, ok := s.resident[addr]; ok {
+		el.Value.(*residentEntry).prover = p
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	s.resident[addr] = s.lru.PushFront(&residentEntry{addr: addr, prover: p})
+	if n := len(s.resident); n > s.stats.ResidentPeak {
+		s.stats.ResidentPeak = n
+	}
+	s.stats.Resident = len(s.resident)
+	return s.evictLocked()
+}
+
+// GetProver returns the audit state for a contract, rehydrating from disk
+// when it was spilled. A spill record that fails its checksum or does not
+// decode returns an error, not (nil, false): the state existed and cannot
+// be reproduced.
+func (s *SpillStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.resident[addr]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*residentEntry).prover, true, nil
+	}
+	m, ok := s.meta[addr]
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("sched: read spill record for %s: %w", addr, err)
+	}
+	ef, auths, err := core.UnmarshalAuditState(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("sched: spill record for %s: %w", addr, err)
+	}
+	p, err := core.NewProver(m.pub, ef, auths)
+	if err != nil {
+		return nil, false, fmt.Errorf("sched: rehydrate %s: %w", addr, err)
+	}
+	p.Workers = m.workers
+	s.stats.Hydrates++
+	os.Remove(m.path)
+	m.path = ""
+	s.resident[addr] = s.lru.PushFront(&residentEntry{addr: addr, prover: p})
+	if n := len(s.resident); n > s.stats.ResidentPeak {
+		s.stats.ResidentPeak = n
+	}
+	s.stats.Resident = len(s.resident)
+	if err := s.evictLocked(); err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// DeleteProver discards the audit state wherever it lives.
+func (s *SpillStore) DeleteProver(addr chain.Address) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.resident[addr]; ok {
+		s.lru.Remove(el)
+		delete(s.resident, addr)
+		s.stats.Resident = len(s.resident)
+	}
+	if m, ok := s.meta[addr]; ok {
+		if m.path != "" {
+			os.Remove(m.path)
+		}
+		delete(s.meta, addr)
+	}
+	return nil
+}
+
+// evictLocked pages out least-recently-used provers until the resident set
+// fits the hydration window.
+func (s *SpillStore) evictLocked() error {
+	for len(s.resident) > s.limit {
+		el := s.lru.Back()
+		re := el.Value.(*residentEntry)
+		data, err := core.MarshalAuditState(re.prover.File, re.prover.Auths)
+		if err != nil {
+			return fmt.Errorf("sched: spill %s: %w", re.addr, err)
+		}
+		path := s.spillPath(re.addr)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("sched: spill %s: %w", re.addr, err)
+		}
+		s.meta[re.addr].path = path
+		s.lru.Remove(el)
+		delete(s.resident, re.addr)
+		s.stats.Spills++
+	}
+	s.stats.Resident = len(s.resident)
+	return nil
+}
+
+// spillPath names a record after the contract address's hash: addresses
+// carry separators ('/', ':') that have no business in file names.
+func (s *SpillStore) spillPath(addr chain.Address) string {
+	sum := sha256.Sum256([]byte(addr))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".state")
+}

@@ -49,10 +49,11 @@ type Scheduler struct {
 	parallelism int // stage-2 settlement verification workers
 	verifier    Verifier
 
-	mu      sync.Mutex
-	running bool
-	entries []*schedEntry
-	byID    map[chain.Address]*schedEntry
+	mu        sync.Mutex
+	running   bool
+	entries   []*schedEntry
+	byID      map[chain.Address]*schedEntry
+	compacted uint64
 
 	outcomeHooks []func(Outcome)
 	blockHooks   []func(height uint64)
@@ -249,6 +250,46 @@ func (s *Scheduler) Results() map[chain.Address]Result {
 		out[id] = entry.result
 	}
 	return out
+}
+
+// Compact drops every terminal engagement from the scheduler's registries
+// and returns how many were dropped. Without it a long-lived scheduler —
+// one that outcome hooks keep feeding follow-up engagements — accumulates
+// every finished entry (and, through it, the engagement, its contract and
+// its audit state) forever; Results and Result stop reporting compacted
+// engagements, so callers that need terminal accounting must read it from
+// an outcome hook, which fires before the entry is ever compactable.
+// Compact is safe to call at any time, including from hooks while Run is
+// executing: only phaseDone entries are removed, and a terminal entry never
+// comes back to life.
+func (s *Scheduler) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.entries[:0]
+	for _, entry := range s.entries {
+		if entry.phase == phaseDone {
+			delete(s.byID, entry.eng.ID())
+			continue
+		}
+		kept = append(kept, entry)
+	}
+	dropped := len(s.entries) - len(kept)
+	// Zero the tail so the dropped entries are collectible despite the
+	// shared backing array.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = nil
+	}
+	s.entries = kept
+	s.compacted += uint64(dropped)
+	return dropped
+}
+
+// Compacted returns the cumulative number of entries removed by Compact
+// over the scheduler's lifetime.
+func (s *Scheduler) Compacted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compacted
 }
 
 // Run executes the block loop until every registered engagement reaches a

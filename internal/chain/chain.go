@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"time"
 )
@@ -68,6 +69,16 @@ type Config struct {
 	BlockGasLimit uint64
 	BlockInterval time.Duration // logical inter-block time
 	GenesisTime   time.Time
+
+	// Retention bounds how many recent blocks keep their bodies (and how far
+	// back the event log reaches). 0 — the default — retains everything, the
+	// behavior every existing experiment depends on. A long-running
+	// simulation (a 100k-engagement soak mines a transaction stream no real
+	// node would hold in memory either) sets it to a window; cumulative
+	// TotalBytes/TotalGas accounting is unaffected because it is maintained
+	// as running totals, exactly like a pruned full node keeps chain-level
+	// aggregates without the bodies.
+	Retention uint64
 }
 
 // DefaultConfig mirrors Ethereum mainnet around Apr 2020: 10M block gas
@@ -133,6 +144,11 @@ type Chain struct {
 	txCount   int
 	subs      map[uint64]*Subscription
 	nextSubID uint64
+
+	// Running aggregates over every sealed block, pruned or not.
+	totalBytes   int
+	totalGas     uint64
+	prunedBlocks uint64
 }
 
 // Errors surfaced by ledger operations.
@@ -261,17 +277,24 @@ func (c *Chain) Submit(tx *Tx) (*Receipt, error) {
 	c.txCount++
 	return &Receipt{
 		TxIndex:  c.txCount - 1,
-		Block:    uint64(len(c.blocks)), // the block it will land in
+		Block:    c.nextHeightLocked(), // the block it will land in
 		GasUsed:  gas,
 		DataSize: len(tx.Data),
 	}, nil
+}
+
+// nextHeightLocked returns the number of the next block to be mined. It is
+// head+1 rather than len(blocks): the two diverge once retention pruning
+// drops old bodies.
+func (c *Chain) nextHeightLocked() uint64 {
+	return c.blocks[len(c.blocks)-1].Number + 1
 }
 
 // Emit appends a contract event.
 func (c *Chain) Emit(name string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.events = append(c.events, Event{Block: uint64(len(c.blocks)), Name: name, Data: data})
+	c.events = append(c.events, Event{Block: c.nextHeightLocked(), Name: name, Data: data})
 }
 
 // Events returns a snapshot of all events.
@@ -304,10 +327,33 @@ func (c *Chain) MineBlock() *Block {
 	}
 	c.pending = kept
 	c.blocks = append(c.blocks, blk)
+	c.totalBytes += blk.ByteSize
+	c.totalGas += blk.GasUsed
+	c.pruneLocked()
 	for _, s := range c.subs {
 		s.publish(blk)
 	}
 	return blk
+}
+
+// pruneLocked drops block bodies and events older than the retention window.
+// Aggregates (TotalBytes, TotalGas, Height) are unaffected; only the
+// per-block and per-event history shrinks.
+func (c *Chain) pruneLocked() {
+	r := c.cfg.Retention
+	if r == 0 || uint64(len(c.blocks)) <= r {
+		return
+	}
+	drop := uint64(len(c.blocks)) - r
+	// Copy into a fresh slice so the dropped blocks' backing array — and the
+	// transactions it pins — becomes collectible.
+	c.blocks = append(make([]*Block, 0, r), c.blocks[drop:]...)
+	c.prunedBlocks += drop
+	cutoff := c.blocks[0].Number
+	i := sort.Search(len(c.events), func(i int) bool { return c.events[i].Block >= cutoff })
+	if i > 0 {
+		c.events = append(make([]Event, 0, len(c.events)-i), c.events[i:]...)
+	}
 }
 
 // txWireSize approximates a transaction's on-chain footprint: ~110 bytes of
@@ -328,33 +374,35 @@ func (c *Chain) Now() time.Time {
 	return c.blocks[len(c.blocks)-1].Time
 }
 
-// TotalBytes returns the cumulative chain size in bytes (Fig. 10 left).
+// TotalBytes returns the cumulative chain size in bytes (Fig. 10 left),
+// including blocks pruned out of the retention window.
 func (c *Chain) TotalBytes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	total := 0
-	for _, b := range c.blocks {
-		total += b.ByteSize
-	}
-	return total
+	return c.totalBytes
 }
 
-// TotalGas returns cumulative gas used across all blocks.
+// TotalGas returns cumulative gas used across all blocks, including blocks
+// pruned out of the retention window.
 func (c *Chain) TotalGas() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var total uint64
-	for _, b := range c.blocks {
-		total += b.GasUsed
-	}
-	return total
+	return c.totalGas
 }
 
-// Blocks returns a snapshot of the block headers.
+// Blocks returns a snapshot of the retained block headers (all blocks when
+// Config.Retention is 0).
 func (c *Chain) Blocks() []*Block {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]*Block(nil), c.blocks...)
+}
+
+// PrunedBlocks returns how many old blocks the retention window has dropped.
+func (c *Chain) PrunedBlocks() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prunedBlocks
 }
 
 // PendingCount returns the mempool depth.

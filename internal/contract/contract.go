@@ -371,6 +371,20 @@ func (k *Contract) SettleAt(height uint64) (bool, error) {
 	return passed, k.applyVerdictAt(passed, k.verifyGas, height)
 }
 
+// SettleTrustedAt applies a settlement verdict directly, skipping proof
+// verification (and its gas) entirely: the pending proof is accepted or
+// rejected on the caller's word. It exists for scale harnesses — a soak run
+// driving 100k engagements cannot pay a pairing per round, and the
+// scheduling machinery under test is independent of the verdict's
+// provenance. It is NOT part of the protocol: a deployment that trusted the
+// caller here would have no audit at all.
+func (k *Contract) SettleTrustedAt(passed bool, height uint64) (bool, error) {
+	if k.state != StateSettle {
+		return false, fmt.Errorf("%w: %s", ErrWrongState, k.state)
+	}
+	return passed, k.applyVerdictAt(passed, 0, height)
+}
+
 // SettleResult reports one contract's outcome from a batched settlement.
 type SettleResult struct {
 	Addr   chain.Address

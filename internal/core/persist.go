@@ -1,6 +1,11 @@
 package core
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+
 	"repro/internal/bn256"
 	"repro/internal/ff"
 	"repro/internal/prf"
@@ -83,6 +88,91 @@ func (sk *PrivateKey) validate() error {
 		}
 	}
 	return nil
+}
+
+// Provider-side persistence: a storage provider auditing hundreds of
+// thousands of contracts cannot keep every engagement's encoded file and
+// authenticators resident. The audit-state encoding below is the spill
+// format — written when an engagement goes idle between rounds, read back
+// when its next challenge arrives. Rehydration must be exact (proofs are
+// byte-deterministic functions of this state), so the encoding reuses the
+// canonical wire codecs and seals the whole record under a checksum: a
+// truncated, bit-flipped or garbage spill file is an error, never a panic
+// and never an almost-right prover.
+
+// auditStateHeader distinguishes spilled audit state from the other
+// persisted encodings and versions it.
+var auditStateHeader = []byte{'d', 's', 'n', 'a', 1}
+
+// MarshalAuditState serializes one engagement's provider-side audit state
+// (the encoded file and its authenticators) as
+//
+//	header || len(file) || file || auths || sha256(everything before)
+//
+// The public key is deliberately not part of the record: providers share one
+// key across every engagement of the same owner, so spilling it per
+// engagement would multiply the resident win away. Callers keep the key in
+// their index and reattach it on load.
+func MarshalAuditState(ef *EncodedFile, auths []*Authenticator) ([]byte, error) {
+	if len(auths) != ef.NumChunks() {
+		return nil, fmt.Errorf("%w: %d authenticators for %d chunks", ErrBadParameters, len(auths), ef.NumChunks())
+	}
+	fileBytes, err := ef.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	authBytes, err := MarshalAuthenticators(auths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(auditStateHeader)+4+len(fileBytes)+len(authBytes)+sha256.Size)
+	out = append(out, auditStateHeader...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(fileBytes)))
+	out = append(out, fileBytes...)
+	out = append(out, authBytes...)
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...), nil
+}
+
+// UnmarshalAuditState restores a spilled audit-state record. The checksum is
+// verified before any structural decoding, so corruption of any kind —
+// truncation, garbage, a flipped coefficient bit — surfaces as ErrMalformed
+// rather than reaching the point decoders; the nested codecs then re-validate
+// dimensions, canonical coefficients and on-curve points, and the
+// file/authenticator counts are cross-checked the way NewProver requires.
+func UnmarshalAuditState(data []byte) (*EncodedFile, []*Authenticator, error) {
+	minLen := len(auditStateHeader) + 4 + sha256.Size
+	if len(data) < minLen {
+		return nil, nil, fmt.Errorf("%w: audit state of %d bytes", ErrMalformed, len(data))
+	}
+	for i, b := range auditStateHeader {
+		if data[i] != b {
+			return nil, nil, fmt.Errorf("%w: bad audit-state header", ErrMalformed)
+		}
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	want := sha256.Sum256(body)
+	if subtle.ConstantTimeCompare(sum, want[:]) != 1 {
+		return nil, nil, fmt.Errorf("%w: audit-state checksum mismatch", ErrMalformed)
+	}
+	off := len(auditStateHeader)
+	fileLen := binary.BigEndian.Uint32(body[off : off+4])
+	off += 4
+	if uint64(fileLen) > uint64(len(body)-off) {
+		return nil, nil, fmt.Errorf("%w: audit state declares %d file bytes, %d present", ErrMalformed, fileLen, len(body)-off)
+	}
+	ef, err := UnmarshalEncodedFile(body[off : off+int(fileLen)])
+	if err != nil {
+		return nil, nil, err
+	}
+	auths, err := UnmarshalAuthenticators(body[off+int(fileLen):])
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(auths) != ef.NumChunks() {
+		return nil, nil, fmt.Errorf("%w: %d authenticators for %d chunks", ErrMalformed, len(auths), ef.NumChunks())
+	}
+	return ef, auths, nil
 }
 
 // UnmarshalChallenge parses the 48-byte on-chain challenge encoding

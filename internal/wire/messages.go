@@ -273,6 +273,7 @@ const (
 	CodeRejected     uint32 = 4 // provider rejected the owner's audit data
 	CodeShuttingDown uint32 = 5 // server draining; safe to retry elsewhere
 	CodeNoShare      uint32 = 6 // holder has no stored object for the key
+	CodeOverloaded   uint32 = 7 // provider at its proving-admission limit; retry after the hint
 )
 
 // Error reports a failed request. It doubles as a Go error so server-side
@@ -280,6 +281,11 @@ const (
 type Error struct {
 	Code    uint32
 	Message string
+
+	// RetryAfter is the provider's backoff hint in blocks, meaningful with
+	// CodeOverloaded (0 = caller's choice). It rides as an optional trailer
+	// so pre-overload peers still decode the payload.
+	RetryAfter uint32
 }
 
 // Error implements the error interface.
@@ -287,13 +293,23 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Message)
 }
 
-// Marshal encodes the error payload.
+// Marshal encodes the error payload. The retry-after trailer is only
+// emitted when set, keeping the encoding of every pre-existing error
+// byte-identical to the previous wire revision.
 func (e *Error) Marshal() ([]byte, error) {
 	out := binary.BigEndian.AppendUint32(nil, e.Code)
-	return appendString(out, e.Message)
+	out, err := appendString(out, e.Message)
+	if err != nil {
+		return nil, err
+	}
+	if e.RetryAfter != 0 {
+		out = binary.BigEndian.AppendUint32(out, e.RetryAfter)
+	}
+	return out, nil
 }
 
-// UnmarshalError parses an error payload.
+// UnmarshalError parses an error payload, with or without the optional
+// retry-after trailer.
 func UnmarshalError(data []byte) (*Error, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("%w: error: missing code", ErrBadFrame)
@@ -303,7 +319,11 @@ func UnmarshalError(data []byte) (*Error, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: error: %v", ErrBadFrame, err)
 	}
-	if len(rest) != 0 {
+	switch len(rest) {
+	case 0:
+	case 4:
+		e.RetryAfter = binary.BigEndian.Uint32(rest)
+	default:
 		return nil, fmt.Errorf("%w: error: %d trailing bytes", ErrBadFrame, len(rest))
 	}
 	e.Message = msg

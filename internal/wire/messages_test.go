@@ -192,6 +192,34 @@ func TestMessageRoundTrips(t *testing.T) {
 		if err != nil || got.Code != CodeInternal || got.Message != "boom" {
 			t.Fatalf("got %+v, %v", got, err)
 		}
+		if got.RetryAfter != 0 {
+			t.Fatalf("legacy error grew a retry-after hint: %d", got.RetryAfter)
+		}
+	})
+	t.Run("ErrorRetryAfter", func(t *testing.T) {
+		want := &Error{Code: CodeOverloaded, Message: "at capacity", RetryAfter: 12}
+		b, err := want.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalError(b)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+		// The hint is a fixed 4-byte trailer: any other trailing length is a
+		// framing error, not silently ignored bytes.
+		if _, err := UnmarshalError(append(b, 0)); err == nil {
+			t.Fatal("accepted error payload with 5 trailing bytes")
+		}
+		// Legacy encoders omit the trailer entirely; the zero hint must not
+		// change the bytes they produce.
+		legacy, err := (&Error{Code: CodeOverloaded, Message: "at capacity"}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(legacy) != len(b)-4 {
+			t.Fatalf("zero retry-after changed the encoding: %d vs %d bytes", len(legacy), len(b))
+		}
 	})
 	t.Run("Proof", func(t *testing.T) {
 		b, err := (&Proof{Contract: "c", Proof: bytes.Repeat([]byte{7}, 288)}).Marshal()
