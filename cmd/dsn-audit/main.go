@@ -13,10 +13,17 @@
 // Serve mode runs one storage provider as a standalone networked process
 // speaking the internal/wire framed protocol.
 //
+// Resume mode restarts a durable local audit (one started with -state)
+// that was killed mid-run: the world is rebuilt from the persisted inputs,
+// the journaled rounds are replayed, and the scheduler recovers from its
+// journal to finish the remaining rounds. See state.go for the exit-code
+// contract (notably 3 = corrupt state).
+//
 // Usage:
 //
 //	dsn-audit [flags]                      run an audit (exit 1 if any round fails)
 //	dsn-audit serve -addr :7420 -name sp   run a provider server
+//	dsn-audit resume -state dir            resume a killed durable audit
 //
 // Audit flags:
 //
@@ -30,10 +37,12 @@
 //	-remote list     comma-separated provider server addresses; one engagement each
 //	-call-timeout d  per-request deadline against remote providers (default 60s)
 //	-retries int     re-dial attempts per remote request (default 2)
+//	-state dir       durable local mode: persist journal/spill/resume inputs here
+//	-tick-delay d    pause per scheduler tick (crash-testing aid; needs -state)
 //
 // Exit status: 0 when every audit round passes, 1 when any round fails
 // verification or misses its deadline (the CI smoke tests gate on this),
-// 2 on operational errors.
+// 2 on operational errors, 3 (resume only) on corrupt persisted state.
 package main
 
 import (
@@ -61,8 +70,13 @@ func main() {
 	// ^C cancels the audit loop (or drains the server) cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		os.Exit(runServe(ctx, os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(runServe(ctx, os.Args[2:]))
+		case "resume":
+			os.Exit(runResume(ctx, os.Args[2:]))
+		}
 	}
 	os.Exit(runAudit(ctx, os.Args[1:]))
 }
@@ -122,6 +136,9 @@ type auditConfig struct {
 	remotes     []string
 	callTimeout time.Duration
 	retries     int
+	seed        string
+	stateDir    string
+	tickDelay   time.Duration
 }
 
 func runAudit(ctx context.Context, args []string) int {
@@ -137,6 +154,8 @@ func runAudit(ctx context.Context, args []string) int {
 		remotes     = fs.String("remote", "", "comma-separated provider server addresses (enables remote mode)")
 		callTimeout = fs.Duration("call-timeout", 60*time.Second, "per-request deadline against remote providers")
 		retries     = fs.Int("retries", 2, "re-dial attempts per remote request")
+		stateDir    = fs.String("state", "", "directory for durable state (journal, spill, resume inputs); local mode only")
+		tickDelay   = fs.Duration("tick-delay", 0, "pause per scheduler tick (testing aid; needs -state)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -144,6 +163,18 @@ func runAudit(ctx context.Context, args []string) int {
 	cfg := auditConfig{
 		chunkSize: *chunkSize, k: *k, rounds: *rounds, providers: *providers,
 		corruptAt: *corruptAt, callTimeout: *callTimeout, retries: *retries,
+		seed: *seed, stateDir: *stateDir, tickDelay: *tickDelay,
+	}
+	if cfg.stateDir != "" && *remotes != "" {
+		return fail(fmt.Errorf("-state is local mode only; remote providers keep their own state"))
+	}
+	if cfg.stateDir != "" && cfg.seed == "" {
+		// A durable run must be reconstructible: pin a seed and persist it.
+		var err error
+		if cfg.seed, err = randomSeedHex(); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("generated beacon seed %s (persisted for resume)\n", cfg.seed)
 	}
 	if *remotes != "" {
 		for _, a := range strings.Split(*remotes, ",") {
@@ -165,8 +196,8 @@ func runAudit(ctx context.Context, args []string) int {
 	}
 
 	var opts []dsnaudit.NetworkOption
-	if *seed != "" {
-		b, err := beacon.NewTrusted([]byte(*seed))
+	if cfg.seed != "" {
+		b, err := beacon.NewTrusted([]byte(cfg.seed))
 		if err != nil {
 			return fail(err)
 		}
@@ -203,9 +234,12 @@ func runAudit(ctx context.Context, args []string) int {
 	terms.ChallengeSize = cfg.k
 
 	var failedRounds int
-	if len(cfg.remotes) > 0 {
+	switch {
+	case len(cfg.remotes) > 0:
 		failedRounds, err = runRemoteAudit(ctx, net, owner, sf, terms, cfg)
-	} else {
+	case cfg.stateDir != "":
+		failedRounds, err = runDurableLocalAudit(ctx, net, owner, sf, terms, cfg, data, funds)
+	default:
 		failedRounds, err = runLocalAudit(ctx, net, owner, sf, terms, cfg, data, funds)
 	}
 	if err != nil {

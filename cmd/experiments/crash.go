@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/dsnaudit/sched"
+)
+
+// runCrash runs the crash-injection matrix from the sched package: a
+// journaled scheduler is killed at every labeled crash point, recovered
+// from its journal, and driven to completion; the outcome must be
+// byte-identical (results, funds, final height, reputation) to an
+// uninterrupted run. This is the CI-facing face of the durability
+// tentpole — the smoke gate greps for the PASS line.
+func runCrash(ctx *expCtx) error {
+	dir, err := os.MkdirTemp("", "crash-matrix-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := sched.CrashMatrixConfig{
+		Dir:  dir,
+		Logf: func(format string, args ...any) { ctx.printf(format+"\n", args...) },
+	}
+	if ctx.quick {
+		cfg.Occurrences = []int{1}
+	}
+	rep, err := sched.RunCrashMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	fired := 0
+	for _, c := range rep.Cases {
+		if c.Fired {
+			fired++
+		}
+	}
+	ctx.printf("\ncrash matrix: %d cases, %d fired\n", len(rep.Cases), fired)
+	for _, f := range rep.Failures {
+		ctx.printf("  FAIL %s\n", f)
+	}
+	if !rep.OK() {
+		ctx.printf("crash gate: FAIL (%d failures)\n", len(rep.Failures))
+		return fmt.Errorf("crash matrix: %d failures", len(rep.Failures))
+	}
+	ctx.printf("crash gate: PASS\n")
+	return nil
+}

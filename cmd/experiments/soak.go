@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/dsnaudit/sched"
@@ -57,13 +58,18 @@ func runSoak(ctx *expCtx) error {
 			return err
 		}
 		defer os.RemoveAll(dir)
+		// The journal rides along so the CI soak gates O(due) ticks and the
+		// memory ceiling with durability on — the configuration a
+		// production auditor would actually run.
 		rep, err := sched.RunSoak(sched.SoakConfig{
-			Engagements: sz.engagements,
-			Interval:    sz.interval,
-			Parallelism: ctx.workers,
-			SpillDir:    dir,
-			SpillWindow: sz.window,
-			Logf:        func(format string, args ...any) { ctx.printf(format+"\n", args...) },
+			Engagements:     sz.engagements,
+			Interval:        sz.interval,
+			Parallelism:     ctx.workers,
+			SpillDir:        dir,
+			SpillWindow:     sz.window,
+			JournalDir:      filepath.Join(dir, "journal"),
+			CheckpointEvery: 64,
+			Logf:            func(format string, args ...any) { ctx.printf(format+"\n", args...) },
 		})
 		if err != nil {
 			return err
@@ -73,6 +79,8 @@ func runSoak(ctx *expCtx) error {
 			sz.label, rep.Engagements, rep.Ticks, sz.engagements/int(sz.interval),
 			busyMedian(rep).Round(10*time.Microsecond), rep.TickP99.Round(10*time.Microsecond),
 			rep.FlatnessRatio, rep.HeapPeak>>20, rep.RSSPeakKB>>10, rep.Spill.Spills, rep.Spill.Hydrates)
+		ctx.printf("%-6s journal: %d appends, %d bytes, %d checkpoints\n",
+			sz.label, rep.Journal.Appends, rep.Journal.Bytes, rep.Journal.Checkpoints)
 		ctx.printf("%-6s tick-latency deciles (median per run-tenth):", sz.label)
 		for _, d := range rep.TickMedians {
 			ctx.printf(" %v", d.Round(10*time.Microsecond))

@@ -367,6 +367,15 @@ func (e *Engagement) SettleMissedDeadline() error { return e.missDeadline() }
 // Scheduler does after each settlement.
 func (e *Engagement) RecordSettledRound(passed bool) { e.recordOutcome(passed) }
 
+// RecordMissedDeadline feeds one already-settled deadline miss into the
+// reputation ledger without touching the contract. Recovery uses it for
+// rounds whose slash landed on-chain before a crash but whose reputation
+// observation was lost with the crashed process — the contract side must
+// not run twice, the ledger side must run exactly once.
+func (e *Engagement) RecordMissedDeadline() {
+	e.network.Reputation.Observe(e.Provider.Name, reputation.EventDeadlineMissed)
+}
+
 // missDeadline settles a missed proof deadline: the contract slashes the
 // provider and reputation records the miss.
 func (e *Engagement) missDeadline() error {

@@ -35,6 +35,22 @@ func NewOwner(n *Network, name string, s int, funds *big.Int) (*Owner, error) {
 	return &Owner{Name: name, EncKey: key, AuditSK: sk, network: n}, nil
 }
 
+// NewOwnerWithKeys creates an owner from existing keys and funds its chain
+// account. It is the deterministic counterpart of NewOwner for restart
+// paths: an operator resuming a crashed auditor reloads the persisted audit
+// key and encryption key so the rebuilt owner is the same party — same
+// addresses, same authenticators — as the crashed one.
+func NewOwnerWithKeys(n *Network, name string, sk *core.PrivateKey, encKey []byte, funds *big.Int) (*Owner, error) {
+	if sk == nil {
+		return nil, fmt.Errorf("dsnaudit: owner %s: nil audit key", name)
+	}
+	if len(encKey) != storage.KeySize {
+		return nil, fmt.Errorf("dsnaudit: owner %s: encryption key must be %d bytes, got %d", name, storage.KeySize, len(encKey))
+	}
+	n.Chain.Fund(chain.Address(name), funds)
+	return &Owner{Name: name, EncKey: append([]byte(nil), encKey...), AuditSK: sk, network: n}, nil
+}
+
 // Address returns the owner's chain account.
 func (o *Owner) Address() chain.Address { return chain.Address(o.Name) }
 

@@ -52,8 +52,20 @@ type Scheduler struct {
 
 	store *store
 
+	// Durability (nil journal = volatile scheduler, the default). The
+	// journal, checkpoint cadence and crash hook are fixed before Run;
+	// lastWake and ckptTicks are owned by the Run goroutine; resume is set
+	// by Recover before Run starts.
+	journal   *Journal
+	ckptEvery int
+	ckptTicks int
+	crashHook func(CrashPoint) bool
+	resume    bool
+	lastWake  uint64
+
 	mu           sync.Mutex
 	running      bool
+	journalErr   error // first journal append failure; sticky, fails the run
 	stats        Stats
 	outcomeHooks []func(dsnaudit.Outcome)
 	blockHooks   []func(uint64)
@@ -143,6 +155,33 @@ func WithAutoCompact() Option {
 	return func(s *Scheduler) { s.autoCompact = true }
 }
 
+// WithJournal makes the scheduler durable: every scheduling decision is
+// appended to j before it can matter, and periodic checkpoints (see
+// WithCheckpointEvery) bound what a restart must replay. The scheduler owns
+// the journal from here on; open it with OpenJournal and recover a crashed
+// scheduler's state with Recover, which installs the reopened journal
+// itself. A journal append failure is sticky and fails the run — a durable
+// scheduler that cannot write its journal must stop, not continue
+// volatile.
+func WithJournal(j *Journal) Option {
+	return func(s *Scheduler) {
+		if j != nil {
+			s.journal = j
+			if s.ckptEvery == 0 {
+				s.ckptEvery = 64
+			}
+		}
+	}
+}
+
+// WithCheckpointEvery sets how many ticks elapse between checkpoints
+// (default 64 when a journal is set). Checkpoints cap replay cost at
+// recovery; the journal alone is always sufficient. n <= 0 disables
+// checkpointing.
+func WithCheckpointEvery(n int) Option {
+	return func(s *Scheduler) { s.ckptEvery = n }
+}
+
 // WithOutcomeHook registers fn for every terminal engagement, like
 // OnOutcome.
 func WithOutcomeHook(fn func(dsnaudit.Outcome)) Option {
@@ -183,6 +222,25 @@ func (s *Scheduler) Add(e *dsnaudit.Engagement) error {
 	en, err := s.store.add(e)
 	if err != nil {
 		return err
+	}
+	// baseRounds pins where this registration's accounting starts: rounds
+	// the contract settled before adoption are history, not ours — recovery
+	// must neither re-observe them into reputation nor count them.
+	en.baseRounds = len(e.Contract.Records())
+	if s.journal != nil {
+		if err := s.journal.append(journalRecord{
+			typ:        recRegister,
+			addr:       e.ID(),
+			seq:        en.seq,
+			baseRounds: en.baseRounds,
+		}); err != nil {
+			s.mu.Lock()
+			if s.journalErr == nil {
+				s.journalErr = err
+			}
+			s.mu.Unlock()
+			return err
+		}
 	}
 	if e.Contract.State() == contract.StateAudit {
 		s.store.arm(e.Contract.TriggerHeight(), en)
@@ -274,6 +332,32 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
+// jappend writes one record to the journal, if any. Append failures are
+// sticky: the first one is latched and fails the run at the next tick
+// boundary (callers on the hot path cannot usefully unwind mid-pipeline).
+func (s *Scheduler) jappend(r journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(r); err != nil {
+		s.mu.Lock()
+		if s.journalErr == nil {
+			s.journalErr = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+// journalFault returns the latched journal append failure, if any.
+func (s *Scheduler) journalFault() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErr
+}
+
+// Journal returns the scheduler's journal, or nil for a volatile scheduler.
+func (s *Scheduler) Journal() *Journal { return s.journal }
+
 type proofJob struct {
 	entry *entry
 	ch    *core.Challenge
@@ -310,6 +394,8 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	}
 	s.running = true
 	s.mu.Unlock()
+	resume := s.resume
+	s.resume = false
 	defer func() {
 		// Entries interrupted mid-round keep an open challenge (PROVE) or a
 		// pending proof (SETTLE) on the contract; re-arm them so a later Run
@@ -331,7 +417,10 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		s.mu.Unlock()
 	}()
 
-	sub := s.net.Chain.Subscribe()
+	// Subscribe from the current height: behaviorally identical to a plain
+	// Subscribe here (nothing newer exists yet), but the from-height form is
+	// what pins a restarted scheduler to the chain position it recovered at.
+	sub := s.net.Chain.SubscribeFrom(s.net.Chain.Height())
 	defer sub.Unsubscribe()
 
 	// Stage 1: the proof-generation pool.
@@ -376,10 +465,21 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			return nil
 		}
 		outstanding = false
-		return s.recordSettlement(<-settleOutcomes)
+		out := <-settleOutcomes
+		if s.crashAt(CrashPostSettle) {
+			// The settlement stage already applied this block's verdicts
+			// on-chain; dying here loses only the journal records for them —
+			// the reconciliation window Recover absorbs.
+			return ErrCrashed
+		}
+		return s.recordSettlement(out)
 	}
 
 	for {
+		if err := s.journalFault(); err != nil {
+			joinSettle()
+			return err
+		}
 		live, settling := s.store.counts()
 		if live == 0 {
 			if err := joinSettle(); err != nil {
@@ -410,38 +510,61 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			return err
 		}
 
-		// One tick = one block, received through the subscription.
-		s.net.Chain.MineBlock()
+		// One tick = one block, received through the subscription. A
+		// recovered scheduler's first tick is the exception: the crashed run
+		// already mined the block for the wake height it died at, so the
+		// resume tick re-processes that height without mining — mining again
+		// would shift every later trigger by one block relative to an
+		// uninterrupted run.
+		resumeTick := resume
 		var height uint64
-		select {
-		case blk := <-sub.Blocks():
-			height = blk.Number
-		case <-ctx.Done():
-			if err := joinSettle(); err != nil {
-				return err
+		if resume {
+			resume = false
+			height = s.lastWake
+		} else {
+			s.net.Chain.MineBlock()
+			select {
+			case blk := <-sub.Blocks():
+				height = blk.Number
+			case <-ctx.Done():
+				if err := joinSettle(); err != nil {
+					return err
+				}
+				return ctx.Err()
 			}
-			return ctx.Err()
 		}
 		s.mu.Lock()
 		s.stats.Ticks++
 		blockHooks := append([]func(uint64){}, s.blockHooks...)
 		s.mu.Unlock()
-		for _, fn := range blockHooks {
-			fn(height)
+		if !resumeTick {
+			// The crashed run already delivered this height to its hooks.
+			for _, fn := range blockHooks {
+				fn(height)
+			}
+		}
+		s.lastWake = height
+		s.jappend(journalRecord{typ: recTick, height: height})
+		if s.crashAt(CrashPreIssue) {
+			return ErrCrashed
 		}
 
 		due, block := s.wakeAt(height)
 		adopted := len(block)
+		if s.crashAt(CrashPostIssue) {
+			return ErrCrashed
+		}
 
 		// Fan the due proofs out; drain results as they land. The previous
 		// tick's settlement may still be verifying — that is the overlap.
 		inflight := 0
 		aborted := false
+		crashed := false
 		ctxDone := ctx.Done()
 		for len(due) > 0 || inflight > 0 {
 			var jobCh chan proofJob
 			var next proofJob
-			if len(due) > 0 && !aborted {
+			if len(due) > 0 && !aborted && !crashed {
 				jobCh = jobs
 				next = due[0]
 			}
@@ -451,8 +574,15 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				inflight++
 			case r := <-results:
 				inflight--
-				if !aborted && s.submit(ctx, height, r) {
+				if !aborted && !crashed && s.submit(ctx, height, r) {
 					block = append(block, r.entry)
+					if s.crashAt(CrashMidProve) {
+						// Die with this proof on-chain and the rest of the
+						// tick never submitted; in-flight results drain and
+						// are discarded, like any crash would discard them.
+						crashed = true
+						due = nil
+					}
 				}
 			case <-ctxDone:
 				aborted = true
@@ -460,14 +590,20 @@ func (s *Scheduler) Run(ctx context.Context) error {
 				ctxDone = nil
 			}
 		}
+		if crashed {
+			return ErrCrashed
+		}
 		if err := joinSettle(); err != nil {
 			return err
 		}
 		if aborted {
 			return ctx.Err()
 		}
-		if len(block) > adopted {
-			// Seal the newly submitted proofs before their verdicts land.
+		if len(block) > adopted || (resumeTick && adopted > 0 && s.net.Chain.PendingCount() > 0) {
+			// Seal the newly submitted proofs before their verdicts land. On
+			// a resume tick the proofs may all predate the crash — adopted,
+			// with their transactions still pending — and need the same seal
+			// the crashed run would have given them.
 			s.net.Chain.MineBlock()
 			select {
 			case <-sub.Blocks():
@@ -476,6 +612,9 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			}
 		}
 		if len(block) > 0 {
+			if s.crashAt(CrashPreSettle) {
+				return ErrCrashed
+			}
 			s.store.mu.Lock()
 			for _, en := range block {
 				en.phase = phaseSettling
@@ -488,6 +627,15 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			}
 			settleJobs <- settleJob{entries: block, cs: cs, height: s.net.Chain.Height()}
 			outstanding = true
+		}
+		if s.journal != nil && s.ckptEvery > 0 {
+			s.ckptTicks++
+			if s.ckptTicks >= s.ckptEvery {
+				s.ckptTicks = 0
+				if err := s.writeCheckpoint(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 }
@@ -542,6 +690,7 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 				issued[en.shard]++
 				challenges++
 				s.setPhase(en, phaseProving)
+				s.jappend(journalRecord{typ: recChallenge, addr: e.ID(), round: e.Contract.Round()})
 				due = append(due, proofJob{entry: en, ch: ch})
 			case contract.StateProve:
 				// Adopted mid-round: resume the open challenge. Exempt from
@@ -565,6 +714,12 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 				continue
 			}
 			s.recordRound(en, false)
+			s.jappend(journalRecord{
+				typ:      recSettled,
+				addr:     e.ID(),
+				round:    e.Contract.Round() - 1,
+				deadline: true,
+			})
 			s.finish(en, nil) // a missed deadline aborts the contract
 		case phaseRetry:
 			// The provider refused the open challenge with ErrOverloaded and
@@ -604,20 +759,17 @@ func (s *Scheduler) submit(ctx context.Context, h uint64, r proofResult) bool {
 			if s.maxRetries > 0 && en.retries > s.maxRetries {
 				// Persistently saturated is indistinguishable from absent:
 				// fall through to the deadline path like any failed round.
-				s.setPhase(en, phaseDeadline)
-				s.store.arm(e.Contract.TriggerHeight(), en)
+				s.park(en, parkDeadline, e.Contract.TriggerHeight())
 				return false
 			}
 			back := dsnaudit.RetryAfterHint(r.err)
 			if back < 1 {
 				back = 1
 			}
-			s.setPhase(en, phaseRetry)
-			s.store.arm(h+back, en)
+			s.park(en, parkRetry, h+uint64(back))
 			return false
 		}
-		s.setPhase(en, phaseDeadline)
-		s.store.arm(e.Contract.TriggerHeight(), en)
+		s.park(en, parkDeadline, e.Contract.TriggerHeight())
 		return false
 	}
 	en.retries = 0
@@ -625,7 +777,31 @@ func (s *Scheduler) submit(ctx context.Context, h uint64, r proofResult) bool {
 		s.finish(en, err)
 		return false
 	}
+	s.jappend(journalRecord{typ: recProof, addr: e.ID(), round: e.Contract.Round()})
 	return true
+}
+
+// park arms an entry at a future height on the deadline or retry path,
+// journaling enough to restore the parked state — kind, round, wake height
+// and retry count — across a crash.
+func (s *Scheduler) park(en *entry, kind parkKind, h uint64) {
+	e := en.eng
+	if kind == parkDeadline {
+		s.setPhase(en, phaseDeadline)
+	} else {
+		s.setPhase(en, phaseRetry)
+	}
+	en.parkedRound = e.Contract.Round()
+	en.parkedHeight = h
+	s.jappend(journalRecord{
+		typ:     recParked,
+		addr:    e.ID(),
+		kind:    kind,
+		round:   en.parkedRound,
+		height:  h,
+		retries: en.retries,
+	})
+	s.store.arm(h, en)
 }
 
 // recordSettlement lands one settled block's verdicts, with the same order
@@ -654,6 +830,12 @@ func (s *Scheduler) recordSettlement(out settleOutcome) error {
 		}
 		e.RecordSettledRound(res.Passed)
 		s.recordRound(en, res.Passed)
+		s.jappend(journalRecord{
+			typ:    recSettled,
+			addr:   e.ID(),
+			round:  e.Contract.Round() - 1,
+			passed: res.Passed,
+		})
 		if e.Contract.State().Terminal() {
 			s.finish(en, nil)
 			continue
@@ -703,6 +885,18 @@ func (s *Scheduler) finish(en *entry, err error) {
 	}
 	out := dsnaudit.Outcome{ID: en.eng.ID(), Eng: en.eng, Result: en.result}
 	s.store.mu.Unlock()
+	rec := journalRecord{
+		typ:    recTerminal,
+		addr:   out.ID,
+		state:  out.Result.State,
+		rounds: out.Result.Rounds,
+		passN:  out.Result.Passed,
+		failN:  out.Result.Failed,
+	}
+	if out.Result.Err != nil {
+		rec.errMsg = out.Result.Err.Error()
+	}
+	s.jappend(rec)
 	s.mu.Lock()
 	hooks := s.outcomeHooks
 	s.mu.Unlock()

@@ -33,6 +33,13 @@ type SoakConfig struct {
 	SampleEvery int    // heap-sample cadence in ticks (default 32)
 	Seed        string // beacon seed (default "soak")
 
+	// JournalDir, when set, runs the soak with the durability journal
+	// enabled — every scheduler decision is appended and checkpoints are cut
+	// at CheckpointEvery ticks — so the soak measures the journaled tick
+	// cost, not just the in-memory one.
+	JournalDir      string
+	CheckpointEvery int // checkpoint cadence in ticks when journaling (default 64)
+
 	// Logf, when set, receives setup/progress lines.
 	Logf func(format string, args ...any)
 
@@ -91,8 +98,9 @@ type SoakReport struct {
 	HeapPeak  uint64 // sampled HeapAlloc high-water mark, bytes
 	RSSPeakKB uint64 // VmHWM from /proc/self/status; 0 when unavailable
 
-	Spill SpillStats // zero-valued when SpillDir was ""
-	Sched Stats
+	Spill   SpillStats   // zero-valued when SpillDir was ""
+	Journal JournalStats // zero-valued when JournalDir was ""
+	Sched   Stats
 }
 
 // soakVerifyGas is the modeled settlement gas; its exact value only feeds
@@ -174,12 +182,24 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		return nil, err
 	}
 
-	sched := NewScheduler(net,
+	schedOpts := []Option{
 		WithShards(cfg.Shards),
 		WithParallelism(cfg.Parallelism),
 		WithVerifier(TrustingVerifier{}),
 		WithAutoCompact(),
-	)
+	}
+	var jnl *Journal
+	if cfg.JournalDir != "" {
+		jnl, err = OpenJournal(cfg.JournalDir, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		schedOpts = append(schedOpts, WithJournal(jnl))
+		if cfg.CheckpointEvery > 0 {
+			schedOpts = append(schedOpts, WithCheckpointEvery(cfg.CheckpointEvery))
+		}
+	}
+	sched := NewScheduler(net, schedOpts...)
 	// Retired audit state is reclaimed the moment its engagement ends —
 	// resident memory tracks the live window, not history.
 	sched.OnOutcome(func(o dsnaudit.Outcome) {
@@ -283,6 +303,12 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	if spill != nil {
 		rep.Spill = spill.Stats()
+	}
+	if jnl != nil {
+		rep.Journal = jnl.Stats()
+		if err := jnl.Close(); err != nil {
+			return nil, err
+		}
 	}
 	if len(latencies) >= 20 {
 		tenth := len(latencies) / 10

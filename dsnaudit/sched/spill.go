@@ -5,9 +5,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/dsnaudit"
 	"repro/internal/chain"
@@ -23,6 +25,17 @@ import (
 // proving; everything else can live in checksummed spill records
 // (core.MarshalAuditState) and rehydrate on demand.
 //
+// The store is sharded by contract address: each shard owns a subdirectory,
+// its own lock, its own LRU window (limit/shards, floor 1) and its own
+// eviction batch, so concurrent responders on different engagements never
+// serialize on one global mutex or pile files into one directory. Evictions
+// are batched off the hot path: a victim leaves the LRU window into a
+// pending set under the shard lock, and the marshal + file write happen
+// outside the lock once the batch fills (or on Flush). Until its write
+// commits, a pending prover is still authoritative — a Get promotes it back
+// without touching disk, a Put supersedes it, a Delete drops it, and the
+// flusher discards its own stale write in those cases.
+//
 // What stays resident per spilled engagement is the index entry: the public
 // key (shared across all of one owner's engagements, deliberately not part
 // of the spill record) and the worker bound. Rehydration is deterministic —
@@ -34,10 +47,22 @@ import (
 // round: audit state a provider cannot faithfully reproduce is exactly what
 // an audit is meant to catch, so corruption must never be papered over.
 //
-// Safe for concurrent use. Eviction I/O runs under the store lock: the
-// simplicity is deliberate, and the soak benchmark shows the spill path is
-// far from the tick-latency critical path at the target scale.
+// Safe for concurrent use.
 type SpillStore struct {
+	dir    string
+	shards []*spillShard
+	batch  int
+
+	spills   atomic.Uint64
+	hydrates atomic.Uint64
+	batches  atomic.Uint64
+	resident atomic.Int64
+	peak     atomic.Int64
+}
+
+// spillShard is one shard: an LRU window over resident provers, the
+// always-resident index, and the pending eviction batch.
+type spillShard struct {
 	dir   string
 	limit int
 
@@ -45,7 +70,8 @@ type SpillStore struct {
 	resident map[chain.Address]*list.Element
 	lru      *list.List // front = most recently used *residentEntry
 	meta     map[chain.Address]*spillMeta
-	stats    SpillStats
+	pending  map[chain.Address]*core.Prover // evicted, write not yet committed
+	flushing bool
 }
 
 type residentEntry struct {
@@ -57,153 +83,308 @@ type residentEntry struct {
 type spillMeta struct {
 	pub     *core.PublicKey
 	workers int
-	path    string // spill file; "" while the prover is resident
+	path    string // spill file; "" while the prover is resident or pending
 }
 
 // SpillStats counts the store's paging activity.
 type SpillStats struct {
 	Spills       uint64 // provers written to disk on eviction
 	Hydrates     uint64 // provers read back from disk
-	Resident     int    // provers currently hydrated
+	Batches      uint64 // eviction batches flushed
+	Resident     int    // provers currently hydrated (LRU windows only)
 	ResidentPeak int    // high-water mark of Resident
+}
+
+// SpillOption customizes NewSpillStore.
+type SpillOption func(*SpillStore)
+
+// WithSpillShards sets the shard count (default 8, reduced so every shard
+// keeps a window of at least one). One shard reproduces the unsharded
+// store's exact LRU behavior.
+func WithSpillShards(n int) SpillOption {
+	return func(s *SpillStore) {
+		if n > 0 {
+			s.shards = make([]*spillShard, n)
+		}
+	}
+}
+
+// WithSpillBatch sets how many evictions accumulate before their spill
+// records are written out (default 8). 1 writes every eviction immediately.
+func WithSpillBatch(n int) SpillOption {
+	return func(s *SpillStore) {
+		if n > 0 {
+			s.batch = n
+		}
+	}
 }
 
 var _ dsnaudit.ProverStore = (*SpillStore)(nil)
 
 // NewSpillStore creates a spill-backed prover store rooted at dir (created
-// if missing). limit is the hydration window; at least 1.
-func NewSpillStore(dir string, limit int) (*SpillStore, error) {
+// if missing). limit is the total hydration window across shards; at least 1.
+func NewSpillStore(dir string, limit int, opts ...SpillOption) (*SpillStore, error) {
 	if limit < 1 {
 		return nil, fmt.Errorf("sched: spill store needs a hydration window >= 1, got %d", limit)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("sched: spill dir: %w", err)
+	s := &SpillStore{dir: dir, shards: make([]*spillShard, 8), batch: 8}
+	for _, opt := range opts {
+		opt(s)
 	}
-	return &SpillStore{
-		dir:      dir,
-		limit:    limit,
-		resident: make(map[chain.Address]*list.Element),
-		lru:      list.New(),
-		meta:     make(map[chain.Address]*spillMeta),
-	}, nil
+	if len(s.shards) > limit {
+		s.shards = s.shards[:limit]
+	}
+	perShard := limit / len(s.shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range s.shards {
+		shardDir := filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sched: spill dir: %w", err)
+		}
+		s.shards[i] = &spillShard{
+			dir:      shardDir,
+			limit:    perShard,
+			resident: make(map[chain.Address]*list.Element),
+			lru:      list.New(),
+			meta:     make(map[chain.Address]*spillMeta),
+			pending:  make(map[chain.Address]*core.Prover),
+		}
+	}
+	return s, nil
+}
+
+// shardFor routes an address to its shard (FNV-1a).
+func (s *SpillStore) shardFor(addr chain.Address) *spillShard {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
 }
 
 // Stats snapshots the store's paging counters.
 func (s *SpillStore) Stats() SpillStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return SpillStats{
+		Spills:       s.spills.Load(),
+		Hydrates:     s.hydrates.Load(),
+		Batches:      s.batches.Load(),
+		Resident:     int(s.resident.Load()),
+		ResidentPeak: int(s.peak.Load()),
+	}
+}
+
+// trackResident adjusts the global resident gauge and its high-water mark.
+func (s *SpillStore) trackResident(delta int64) {
+	n := s.resident.Add(delta)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
 }
 
 // PutProver installs audit state, evicting least-recently-used provers past
-// the hydration window.
+// the shard's hydration window.
 func (s *SpillStore) PutProver(addr chain.Address, p *core.Prover) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.meta[addr]; ok && old.path != "" {
+	sh := s.shardFor(addr)
+	sh.mu.Lock()
+	if old, ok := sh.meta[addr]; ok && old.path != "" {
 		// Replacing a spilled engagement: the old record is stale.
 		os.Remove(old.path)
 	}
-	s.meta[addr] = &spillMeta{pub: p.Pub, workers: p.Workers}
-	if el, ok := s.resident[addr]; ok {
+	delete(sh.pending, addr) // a pending write of the old prover is stale too
+	sh.meta[addr] = &spillMeta{pub: p.Pub, workers: p.Workers}
+	if el, ok := sh.resident[addr]; ok {
 		el.Value.(*residentEntry).prover = p
-		s.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
 		return nil
 	}
-	s.resident[addr] = s.lru.PushFront(&residentEntry{addr: addr, prover: p})
-	if n := len(s.resident); n > s.stats.ResidentPeak {
-		s.stats.ResidentPeak = n
+	sh.resident[addr] = sh.lru.PushFront(&residentEntry{addr: addr, prover: p})
+	s.trackResident(1)
+	due := s.evictLocked(sh)
+	sh.mu.Unlock()
+	if due {
+		return s.flushShard(sh)
 	}
-	s.stats.Resident = len(s.resident)
-	return s.evictLocked()
+	return nil
 }
 
 // GetProver returns the audit state for a contract, rehydrating from disk
-// when it was spilled. A spill record that fails its checksum or does not
-// decode returns an error, not (nil, false): the state existed and cannot
-// be reproduced.
+// when it was spilled. A prover whose eviction is still pending is promoted
+// back into the window without any disk I/O. A spill record that fails its
+// checksum or does not decode returns an error, not (nil, false): the state
+// existed and cannot be reproduced.
 func (s *SpillStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.resident[addr]; ok {
-		s.lru.MoveToFront(el)
-		return el.Value.(*residentEntry).prover, true, nil
+	sh := s.shardFor(addr)
+	sh.mu.Lock()
+	if el, ok := sh.resident[addr]; ok {
+		sh.lru.MoveToFront(el)
+		p := el.Value.(*residentEntry).prover
+		sh.mu.Unlock()
+		return p, true, nil
 	}
-	m, ok := s.meta[addr]
+	if p, ok := sh.pending[addr]; ok {
+		// Evicted but not yet written: promote straight back. The flusher
+		// sees the pending entry gone and discards any write it raced.
+		delete(sh.pending, addr)
+		sh.resident[addr] = sh.lru.PushFront(&residentEntry{addr: addr, prover: p})
+		s.trackResident(1)
+		due := s.evictLocked(sh)
+		sh.mu.Unlock()
+		if due {
+			if err := s.flushShard(sh); err != nil {
+				return nil, false, err
+			}
+		}
+		return p, true, nil
+	}
+	m, ok := sh.meta[addr]
 	if !ok {
+		sh.mu.Unlock()
 		return nil, false, nil
 	}
 	data, err := os.ReadFile(m.path)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, false, fmt.Errorf("sched: read spill record for %s: %w", addr, err)
 	}
 	ef, auths, err := core.UnmarshalAuditState(data)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, false, fmt.Errorf("sched: spill record for %s: %w", addr, err)
 	}
 	p, err := core.NewProver(m.pub, ef, auths)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, false, fmt.Errorf("sched: rehydrate %s: %w", addr, err)
 	}
 	p.Workers = m.workers
-	s.stats.Hydrates++
+	s.hydrates.Add(1)
 	os.Remove(m.path)
 	m.path = ""
-	s.resident[addr] = s.lru.PushFront(&residentEntry{addr: addr, prover: p})
-	if n := len(s.resident); n > s.stats.ResidentPeak {
-		s.stats.ResidentPeak = n
-	}
-	s.stats.Resident = len(s.resident)
-	if err := s.evictLocked(); err != nil {
-		return nil, false, err
+	sh.resident[addr] = sh.lru.PushFront(&residentEntry{addr: addr, prover: p})
+	s.trackResident(1)
+	due := s.evictLocked(sh)
+	sh.mu.Unlock()
+	if due {
+		if err := s.flushShard(sh); err != nil {
+			return nil, false, err
+		}
 	}
 	return p, true, nil
 }
 
-// DeleteProver discards the audit state wherever it lives.
+// DeleteProver discards the audit state wherever it lives: the LRU window,
+// the pending batch, or disk.
 func (s *SpillStore) DeleteProver(addr chain.Address) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.resident[addr]; ok {
-		s.lru.Remove(el)
-		delete(s.resident, addr)
-		s.stats.Resident = len(s.resident)
+	sh := s.shardFor(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.resident[addr]; ok {
+		sh.lru.Remove(el)
+		delete(sh.resident, addr)
+		s.trackResident(-1)
 	}
-	if m, ok := s.meta[addr]; ok {
+	delete(sh.pending, addr)
+	if m, ok := sh.meta[addr]; ok {
 		if m.path != "" {
 			os.Remove(m.path)
 		}
-		delete(s.meta, addr)
+		delete(sh.meta, addr)
 	}
 	return nil
 }
 
-// evictLocked pages out least-recently-used provers until the resident set
-// fits the hydration window.
-func (s *SpillStore) evictLocked() error {
-	for len(s.resident) > s.limit {
-		el := s.lru.Back()
-		re := el.Value.(*residentEntry)
-		data, err := core.MarshalAuditState(re.prover.File, re.prover.Auths)
-		if err != nil {
-			return fmt.Errorf("sched: spill %s: %w", re.addr, err)
+// Flush forces every pending eviction to disk. Callers shutting a node down
+// cleanly use it; crash recovery does not need it (pending provers are
+// rebuilt from the owner like any uninstalled state).
+func (s *SpillStore) Flush() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := s.flushShard(sh); err != nil && first == nil {
+			first = err
 		}
-		path := s.spillPath(re.addr)
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return fmt.Errorf("sched: spill %s: %w", re.addr, err)
-		}
-		s.meta[re.addr].path = path
-		s.lru.Remove(el)
-		delete(s.resident, re.addr)
-		s.stats.Spills++
 	}
-	s.stats.Resident = len(s.resident)
-	return nil
+	return first
+}
+
+// evictLocked moves LRU victims past the window into the pending batch.
+// Caller holds sh.mu. Returns whether the batch is due for a flush.
+func (s *SpillStore) evictLocked(sh *spillShard) bool {
+	for len(sh.resident) > sh.limit {
+		el := sh.lru.Back()
+		re := el.Value.(*residentEntry)
+		sh.lru.Remove(el)
+		delete(sh.resident, re.addr)
+		sh.pending[re.addr] = re.prover
+		s.trackResident(-1)
+	}
+	return len(sh.pending) >= s.batch && !sh.flushing
+}
+
+// flushShard writes the shard's pending evictions out. The snapshot is
+// taken under the shard lock; the marshal and file writes run outside it;
+// each write commits under the lock only if the pending entry is still the
+// one written (a concurrent Get/Put/Delete supersedes it, and the stale
+// file is removed). Caller must not hold sh.mu.
+func (s *SpillStore) flushShard(sh *spillShard) error {
+	type item struct {
+		addr   chain.Address
+		prover *core.Prover
+	}
+	sh.mu.Lock()
+	if sh.flushing || len(sh.pending) == 0 {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.flushing = true
+	batch := make([]item, 0, len(sh.pending))
+	for addr, p := range sh.pending {
+		batch = append(batch, item{addr, p})
+	}
+	sh.mu.Unlock()
+
+	var first error
+	for _, it := range batch {
+		data, err := core.MarshalAuditState(it.prover.File, it.prover.Auths)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("sched: spill %s: %w", it.addr, err)
+			}
+			continue
+		}
+		path := spillPath(sh.dir, it.addr)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			if first == nil {
+				first = fmt.Errorf("sched: spill %s: %w", it.addr, err)
+			}
+			continue
+		}
+		sh.mu.Lock()
+		cur, pendingOK := sh.pending[it.addr]
+		m, alive := sh.meta[it.addr]
+		if pendingOK && cur == it.prover && alive {
+			delete(sh.pending, it.addr)
+			m.path = path
+			s.spills.Add(1)
+		} else {
+			// Promoted, replaced or deleted while we wrote: our file is stale.
+			os.Remove(path)
+		}
+		sh.mu.Unlock()
+	}
+	s.batches.Add(1)
+	sh.mu.Lock()
+	sh.flushing = false
+	sh.mu.Unlock()
+	return first
 }
 
 // spillPath names a record after the contract address's hash: addresses
 // carry separators ('/', ':') that have no business in file names.
-func (s *SpillStore) spillPath(addr chain.Address) string {
+func spillPath(dir string, addr chain.Address) string {
 	sum := sha256.Sum256([]byte(addr))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".state")
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".state")
 }

@@ -74,10 +74,12 @@ func newProverOrDie(t testing.TB, pk *core.PublicKey, ef *core.EncodedFile, auth
 
 // TestSpillStoreLRUAndRehydrate pins the paging contract: the resident set
 // never exceeds the window, spilled provers come back, and a rehydrated
-// prover produces byte-identical proofs to one that never left memory.
+// prover produces byte-identical proofs to one that never left memory. One
+// shard and a batch of one reproduce the original unsharded store's exact
+// LRU and write-per-eviction behavior.
 func TestSpillStoreLRUAndRehydrate(t *testing.T) {
 	sk, ef, auths := spillFixture(t, "lru", 600)
-	store, err := NewSpillStore(t.TempDir(), 2)
+	store, err := NewSpillStore(t.TempDir(), 2, WithSpillShards(1), WithSpillBatch(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestSpillStoreLRUAndRehydrate(t *testing.T) {
 	if _, ok, err := store.GetProver(addrs[0]); ok || err != nil {
 		t.Fatalf("deleted prover still answers: ok=%v err=%v", ok, err)
 	}
-	left, err := filepath.Glob(filepath.Join(storeDir(store), "*.state"))
+	left, err := filepath.Glob(filepath.Join(storeDir(store), "shard-*", "*.state"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +155,104 @@ func TestSpillStoreLRUAndRehydrate(t *testing.T) {
 
 func storeDir(s *SpillStore) string { return s.dir }
 
+// TestSpillStoreBatchedEviction pins the batched write-out path: evictions
+// park in the pending set without touching disk, a Get promotes a pending
+// prover back with no disk I/O, and Flush commits what remains.
+func TestSpillStoreBatchedEviction(t *testing.T) {
+	sk, ef, auths := spillFixture(t, "batch", 600)
+	dir := t.TempDir()
+	store, err := NewSpillStore(dir, 2, WithSpillShards(1), WithSpillBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []chain.Address{"audit:a", "audit:b", "audit:c", "audit:d"}
+	for _, a := range addrs {
+		if err := store.PutProver(a, newProverOrDie(t, sk.Pub, ef.Clone(), core.CloneAuthenticators(auths))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two evictions happened (a, b) but the batch of 4 is not full: nothing
+	// on disk yet, nothing counted as spilled.
+	if st := store.Stats(); st.Spills != 0 {
+		t.Fatalf("spills = %d before the batch fills, want 0", st.Spills)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "shard-*", "*.state")); len(files) != 0 {
+		t.Fatalf("%d spill files before the batch fills, want 0", len(files))
+	}
+	// A pending prover promotes back without a hydrate.
+	if _, ok, err := store.GetProver("audit:a"); !ok || err != nil {
+		t.Fatalf("pending prover: ok=%v err=%v", ok, err)
+	}
+	if st := store.Stats(); st.Hydrates != 0 {
+		t.Fatalf("hydrates = %d for a pending promote, want 0", st.Hydrates)
+	}
+	// Flush writes out whatever is pending; everything is then recoverable.
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Spills == 0 {
+		t.Fatalf("spills = 0 after Flush, want > 0")
+	}
+	for _, a := range addrs {
+		if _, ok, err := store.GetProver(a); !ok || err != nil {
+			t.Fatalf("GetProver(%s) after flush: ok=%v err=%v", a, ok, err)
+		}
+	}
+}
+
+// TestSpillStoreSharded pins the sharded layout: records land in per-shard
+// subdirectories, and the store behaves identically through the sharded
+// fast path.
+func TestSpillStoreSharded(t *testing.T) {
+	sk, ef, auths := spillFixture(t, "sharded", 600)
+	dir := t.TempDir()
+	store, err := NewSpillStore(dir, 4, WithSpillShards(4), WithSpillBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 12
+	for i := 0; i < keys; i++ {
+		addr := chain.Address(fmt.Sprintf("audit:shard-%d", i))
+		if err := store.PutProver(addr, newProverOrDie(t, sk.Pub, ef.Clone(), core.CloneAuthenticators(auths))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	if st.Resident > 4 {
+		t.Fatalf("resident = %d, want <= total window 4", st.Resident)
+	}
+	if st.Spills == 0 {
+		t.Fatalf("no spills across %d puts through a window of 4", keys)
+	}
+	shardDirs, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil || len(shardDirs) != 4 {
+		t.Fatalf("shard dirs = %v, err=%v, want 4", shardDirs, err)
+	}
+	populated := 0
+	for _, sd := range shardDirs {
+		files, _ := filepath.Glob(filepath.Join(sd, "*.state"))
+		if len(files) > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("spill files concentrated in %d shard dir(s), want spread", populated)
+	}
+	for i := 0; i < keys; i++ {
+		addr := chain.Address(fmt.Sprintf("audit:shard-%d", i))
+		if _, ok, err := store.GetProver(addr); !ok || err != nil {
+			t.Fatalf("GetProver(%s): ok=%v err=%v", addr, ok, err)
+		}
+	}
+}
+
 // TestSpillStoreCorruptionSurfaces pins that a tampered spill record is an
 // error — the audit state existed and cannot be reproduced — never a silent
 // "not found" and never a panic.
 func TestSpillStoreCorruptionSurfaces(t *testing.T) {
 	sk, ef, auths := spillFixture(t, "corrupt", 400)
 	dir := t.TempDir()
-	store, err := NewSpillStore(dir, 1)
+	store, err := NewSpillStore(dir, 1, WithSpillShards(1), WithSpillBatch(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +264,7 @@ func TestSpillStoreCorruptionSurfaces(t *testing.T) {
 	if err := store.PutProver("audit:y", newProverOrDie(t, sk2.Pub, ef2, auths2)); err != nil {
 		t.Fatal(err)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.state"))
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*", "*.state"))
 	if err != nil || len(files) != 1 {
 		t.Fatalf("spill files = %v, err=%v, want exactly 1", files, err)
 	}

@@ -35,6 +35,15 @@ type entry struct {
 	phase   phase
 	result  dsnaudit.Result
 	retries int // consecutive overload refusals on the open challenge
+
+	// Durability bookkeeping. baseRounds is how many rounds the contract had
+	// already settled when this entry registered — the floor below which
+	// recovery must not re-observe history. parkedRound/parkedHeight mirror
+	// the last parked journal record so checkpoints can restore a parked
+	// entry without touching its contract.
+	baseRounds   int
+	parkedRound  int
+	parkedHeight uint64
 }
 
 // shardState is one shard: a wake queue plus a live-entry counter. Shards

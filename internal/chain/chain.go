@@ -149,6 +149,11 @@ type Chain struct {
 	totalBytes   int
 	totalGas     uint64
 	prunedBlocks uint64
+
+	// historyReads counts bulk history snapshots (Events, Blocks) — the
+	// expensive "rescan the chain" accesses. Recovery tests pin this at
+	// zero across sched.Recover to prove a restart never rescans.
+	historyReads uint64
 }
 
 // Errors surfaced by ledger operations.
@@ -301,6 +306,7 @@ func (c *Chain) Emit(name string, data []byte) {
 func (c *Chain) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.historyReads++
 	return append([]Event(nil), c.events...)
 }
 
@@ -395,7 +401,17 @@ func (c *Chain) TotalGas() uint64 {
 func (c *Chain) Blocks() []*Block {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.historyReads++
 	return append([]*Block(nil), c.blocks...)
+}
+
+// HistoryReads returns how many bulk history snapshots (Events, Blocks)
+// have been taken. A recovery path that claims "no rescan" proves it by
+// showing this counter unchanged.
+func (c *Chain) HistoryReads() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.historyReads
 }
 
 // PrunedBlocks returns how many old blocks the retention window has dropped.

@@ -172,3 +172,22 @@ func TestEvents(t *testing.T) {
 		t.Fatalf("events = %+v", evs)
 	}
 }
+
+func TestHistoryReadsCounter(t *testing.T) {
+	c := New(DefaultConfig())
+	if n := c.HistoryReads(); n != 0 {
+		t.Fatalf("fresh chain history reads = %d", n)
+	}
+	c.MineBlock()
+	c.Emit("challenged", nil)
+	sub := c.SubscribeFrom(0) // subscription replay is not a history snapshot
+	defer sub.Unsubscribe()
+	if n := c.HistoryReads(); n != 0 {
+		t.Fatalf("history reads = %d after mining and subscribing, want 0", n)
+	}
+	c.Events()
+	c.Blocks()
+	if n := c.HistoryReads(); n != 2 {
+		t.Fatalf("history reads = %d after Events+Blocks, want 2", n)
+	}
+}

@@ -42,6 +42,40 @@ func (c *Chain) Subscribe() *Subscription {
 	return s
 }
 
+// SubscribeFrom is Subscribe anchored at a height: retained blocks with
+// numbers greater than after are pre-queued for delivery, in order, ahead
+// of anything mined later. A consumer that knows the last height it
+// processed — a restarted scheduler recovering from its journal — resumes
+// from exactly there without a gap, bounded by Config.Retention like any
+// pruned node. Called with after at the current head it is equivalent to
+// Subscribe.
+func (c *Chain) SubscribeFrom(after uint64) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Subscription{
+		chain: c,
+		id:    c.nextSubID,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		out:   make(chan *Block),
+	}
+	c.nextSubID++
+	for _, b := range c.blocks {
+		if b.Number > after {
+			s.queue = append(s.queue, b)
+		}
+	}
+	if c.subs == nil {
+		c.subs = make(map[uint64]*Subscription)
+	}
+	c.subs[s.id] = s
+	go s.pump()
+	if len(s.queue) > 0 {
+		s.wake <- struct{}{}
+	}
+	return s
+}
+
 // Blocks returns the delivery channel. It is closed after Unsubscribe.
 func (s *Subscription) Blocks() <-chan *Block { return s.out }
 

@@ -47,6 +47,48 @@ func TestSubscribeStartsAtSubscription(t *testing.T) {
 	}
 }
 
+// TestSubscribeFromReplaysRetainedBlocks proves SubscribeFrom pre-queues
+// every retained block past the anchor, in order, ahead of new mining — the
+// gap-free resume a restarted scheduler needs.
+func TestSubscribeFromReplaysRetainedBlocks(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		c.MineBlock()
+	}
+	sub := c.SubscribeFrom(2)
+	defer sub.Unsubscribe()
+	c.MineBlock()
+	for want := uint64(3); want <= 6; want++ {
+		select {
+		case b := <-sub.Blocks():
+			if b.Number != want {
+				t.Fatalf("delivered block #%d, want %d", b.Number, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for block %d", want)
+		}
+	}
+}
+
+// TestSubscribeFromAtHead proves SubscribeFrom anchored at the current head
+// is exactly Subscribe: nothing replayed, delivery starts at the next block.
+func TestSubscribeFromAtHead(t *testing.T) {
+	c := New(DefaultConfig())
+	c.MineBlock()
+	c.MineBlock()
+	sub := c.SubscribeFrom(c.Height())
+	defer sub.Unsubscribe()
+	c.MineBlock()
+	select {
+	case b := <-sub.Blocks():
+		if b.Number != 3 {
+			t.Fatalf("first delivered block #%d, want 3", b.Number)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
 // TestUnsubscribeClosesChannel verifies Unsubscribe closes Blocks() and is
 // idempotent, even with a full queue.
 func TestUnsubscribeClosesChannel(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
+	"os"
 
 	"repro/internal/bn256"
 	"repro/internal/ff"
@@ -173,6 +174,32 @@ func UnmarshalAuditState(data []byte) (*EncodedFile, []*Authenticator, error) {
 		return nil, nil, fmt.Errorf("%w: %d authenticators for %d chunks", ErrMalformed, len(auths), ef.NumChunks())
 	}
 	return ef, auths, nil
+}
+
+// SaveAuditState writes one engagement's audit state to path atomically
+// (whole tmp write + rename), in the MarshalAuditState encoding. The
+// restart path uses it to stash the owner's audit snapshot once at setup
+// and reuse it on resume instead of re-encoding the file.
+func SaveAuditState(path string, ef *EncodedFile, auths []*Authenticator) error {
+	data, err := MarshalAuditState(ef, auths)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadAuditState reads an audit-state snapshot written by SaveAuditState,
+// with UnmarshalAuditState's full corruption discipline.
+func LoadAuditState(path string) (*EncodedFile, []*Authenticator, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return UnmarshalAuditState(data)
 }
 
 // UnmarshalChallenge parses the 48-byte on-chain challenge encoding

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"crypto/rand"
 	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -292,4 +295,59 @@ func TestAuditStateConcurrentSpillLoad(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestSaveLoadAuditState(t *testing.T) {
+	sk, err := KeyGen(4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 600)
+	rand.Read(data)
+	ef, err := EncodeFile(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths, err := Setup(sk, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "audit.state")
+	if err := SaveAuditState(path, ef, auths); err != nil {
+		t.Fatal(err)
+	}
+	// The atomic write leaves no tmp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+	ef2, auths2, err := LoadAuditState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := ef.MarshalBinary()
+	b2, _ := ef2.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("encoded file changed across save/load")
+	}
+	if len(auths2) != len(auths) {
+		t.Fatalf("%d authenticators loaded, want %d", len(auths2), len(auths))
+	}
+	for i := range auths {
+		if !auths[i].Sigma.Equal(auths2[i].Sigma) {
+			t.Fatalf("authenticator %d differs after save/load", i)
+		}
+	}
+
+	// A flipped byte surfaces as ErrMalformed, never as a wrong prover.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadAuditState(path); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("corrupted load err = %v, want ErrMalformed", err)
+	}
 }
