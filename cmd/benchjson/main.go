@@ -24,7 +24,10 @@
 // For every benchmark present in both documents it compares ns/op (higher
 // is a regression) and every shared "/s"-suffixed throughput metric (lower
 // is a regression); any relative regression beyond the threshold is
-// reported and the command exits non-zero.
+// reported and the command exits non-zero. With -summary <file>, diff mode
+// also appends a markdown comparison table to the file — CI passes
+// $GITHUB_STEP_SUMMARY so every run's trajectory renders on its summary
+// page, pass or fail.
 package main
 
 import (
@@ -75,12 +78,13 @@ func main() {
 	var (
 		diffMode  = flag.Bool("diff", false, "compare two trajectory JSON files instead of parsing a test2json stream")
 		threshold = flag.Float64("threshold", 0.25, "relative regression beyond which -diff fails (0.25 = 25%)")
+		summary   = flag.String("summary", "", "in -diff mode, append a markdown comparison table to this file (CI passes $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 
 	if *diffMode {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.25] <baseline.json> <fresh.json>")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.25] [-summary out.md] <baseline.json> <fresh.json>")
 			os.Exit(2)
 		}
 		baseline, err := readDocument(flag.Arg(0))
@@ -97,6 +101,14 @@ func main() {
 		fmt.Printf("benchjson: compared %d benchmarks present in both documents\n", compared)
 		for _, r := range regressions {
 			fmt.Println("REGRESSION:", r)
+		}
+		if *summary != "" {
+			// The summary is written before the exit below so a failing gate
+			// still renders its table on the run page.
+			if err := writeSummary(*summary, baseline, fresh, regressions, *threshold); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
 		}
 		if len(regressions) > 0 {
 			fmt.Printf("benchjson: %d regression(s) beyond %.0f%%\n", len(regressions), *threshold*100)
@@ -241,6 +253,50 @@ func splitProcsSuffix(name string) (string, int) {
 		return name, 1
 	}
 	return name[:dash], procs
+}
+
+// writeSummary appends a markdown comparison table to path: one row per
+// benchmark present in both documents with its ns/op delta, then the
+// regression list. The file is appended, not truncated — $GITHUB_STEP_SUMMARY
+// accumulates sections from every step that writes to it.
+func writeSummary(path string, baseline, fresh Document, regressions []string, threshold float64) error {
+	key := func(b Benchmark) string { return b.Package + " " + b.Name }
+	base := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[key(b)] = b
+	}
+	var md strings.Builder
+	fmt.Fprintf(&md, "## Benchmark trajectory (gate: ±%.0f%%)\n\n", threshold*100)
+	md.WriteString("| benchmark | baseline ns/op | fresh ns/op | delta |\n")
+	md.WriteString("|---|---:|---:|---:|\n")
+	for _, nb := range fresh.Benchmarks {
+		ob, ok := base[key(nb)]
+		if !ok {
+			continue
+		}
+		delta := "n/a"
+		if ob.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nb.NsPerOp/ob.NsPerOp-1))
+		}
+		fmt.Fprintf(&md, "| %s | %.0f | %.0f | %s |\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta)
+	}
+	if len(regressions) == 0 {
+		md.WriteString("\nNo regressions.\n")
+	} else {
+		fmt.Fprintf(&md, "\n**%d regression(s) beyond the threshold:**\n\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintf(&md, "- %s\n", r)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(md.String()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // diffDocuments compares fresh against baseline and describes every

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -137,5 +138,44 @@ func TestDiffCleanRun(t *testing.T) {
 	regressions, compared := diffDocuments(doc, doc, 0.25)
 	if compared != 1 || len(regressions) != 0 {
 		t.Fatalf("identical documents flagged: compared=%d regressions=%v", compared, regressions)
+	}
+}
+
+// TestWriteSummary pins the -summary output: a markdown table with one row
+// per shared benchmark (added/retired ones excluded), the regression list,
+// and append semantics — a second write must not clobber the first.
+func TestWriteSummary(t *testing.T) {
+	baseline := Document{Benchmarks: []Benchmark{
+		bench("BenchmarkPairing", 1000, nil),
+		bench("BenchmarkRetired", 100, nil),
+	}}
+	fresh := Document{Benchmarks: []Benchmark{
+		bench("BenchmarkPairing", 1300, nil),
+		bench("BenchmarkAdded", 50, nil),
+	}}
+	regressions, _ := diffDocuments(baseline, fresh, 0.25)
+	path := t.TempDir() + "/summary.md"
+	if err := writeSummary(path, baseline, fresh, regressions, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSummary(path, Document{}, Document{}, nil, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "| BenchmarkPairing | 1000 | 1300 | +30.0% |") {
+		t.Fatalf("comparison row missing:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkAdded") || strings.Contains(out, "BenchmarkRetired") {
+		t.Fatalf("one-sided benchmarks leaked into the table:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Fatalf("regression list missing:\n%s", out)
+	}
+	if !strings.Contains(out, "No regressions.") {
+		t.Fatalf("second (clean) summary not appended:\n%s", out)
 	}
 }

@@ -36,6 +36,7 @@ type experiment struct {
 type expCtx struct {
 	quick   bool
 	workers int // scheduler pipeline parallelism (0 = GOMAXPROCS)
+	soakN   int // soak population override; 0 = the experiment's defaults
 	out     *os.File
 }
 
@@ -68,9 +69,10 @@ func main() {
 	expName := flag.String("exp", "all", "experiment to run (or 'all' / 'list')")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	workers := flag.Int("workers", 0, "scheduler pipeline parallelism (0 = GOMAXPROCS); the scheduler experiment prints serial vs this")
+	soakN := flag.Int("n", 0, "soak: population override; runs n/2 then n engagements (the nightly gate passes 1000000)")
 	flag.Parse()
 
-	ctx := &expCtx{quick: *quick, workers: *workers, out: os.Stdout}
+	ctx := &expCtx{quick: *quick, workers: *workers, soakN: *soakN, out: os.Stdout}
 
 	if *expName == "list" {
 		for _, e := range registry {

@@ -32,13 +32,34 @@ func runSoak(ctx *expCtx) error {
 	}
 	var sizes [2]sizing
 	var heapCeiling uint64
-	if ctx.quick {
+	switch {
+	case ctx.soakN > 0:
+		// -n scales the profile: populations n/2 and n, stagger windows
+		// chosen so both wake ~1024 engagements per tick (constant due/tick
+		// is what makes the halved run a valid O(due) baseline), and a heap
+		// ceiling that grows with the always-resident per-engagement index
+		// (~4 KB each: registry entry, spill index, contract state).
+		iv := func(e int) uint64 {
+			if v := uint64(e / 1024); v > 64 {
+				return v
+			}
+			return 64
+		}
+		sizes = [2]sizing{
+			{soakLabel(ctx.soakN / 2), ctx.soakN / 2, iv(ctx.soakN / 2), 1024},
+			{soakLabel(ctx.soakN), ctx.soakN, iv(ctx.soakN), 1024},
+		}
+		heapCeiling = uint64(ctx.soakN) * (4 << 10)
+		if heapCeiling < 1<<30 {
+			heapCeiling = 1 << 30
+		}
+	case ctx.quick:
 		sizes = [2]sizing{
 			{"5k", 5_000, 64, 512},
 			{"10k", 10_000, 128, 512},
 		}
 		heapCeiling = 256 << 20
-	} else {
+	default:
 		sizes = [2]sizing{
 			{"50k", 50_000, 128, 1024},
 			{"100k", 100_000, 256, 1024},
@@ -79,8 +100,10 @@ func runSoak(ctx *expCtx) error {
 			sz.label, rep.Engagements, rep.Ticks, sz.engagements/int(sz.interval),
 			busyMedian(rep).Round(10*time.Microsecond), rep.TickP99.Round(10*time.Microsecond),
 			rep.FlatnessRatio, rep.HeapPeak>>20, rep.RSSPeakKB>>10, rep.Spill.Spills, rep.Spill.Hydrates)
-		ctx.printf("%-6s journal: %d appends, %d bytes, %d checkpoints\n",
-			sz.label, rep.Journal.Appends, rep.Journal.Bytes, rep.Journal.Checkpoints)
+		rounds := rep.Engagements * 2 // SoakConfig default Rounds
+		ctx.printf("%-6s journal: %d appends, %d bytes, %d writes, %d fsyncs, %d checkpoints (%d B, %.3f fsyncs per settled round)\n",
+			sz.label, rep.Journal.Appends, rep.Journal.Bytes, rep.Journal.Writes, rep.Journal.Fsyncs,
+			rep.Journal.Checkpoints, rep.Journal.Bytes/uint64(rounds), float64(rep.Journal.Fsyncs)/float64(rounds))
 		ctx.printf("%-6s tick-latency deciles (median per run-tenth):", sz.label)
 		for _, d := range rep.TickMedians {
 			ctx.printf(" %v", d.Round(10*time.Microsecond))
@@ -122,6 +145,17 @@ func runSoak(ctx *expCtx) error {
 	}
 	ctx.printf("soak gate: PASS\n")
 	return nil
+}
+
+// soakLabel renders a population size as "500k" / "1M" style shorthand.
+func soakLabel(n int) string {
+	if n >= 1_000_000 && n%1_000_000 == 0 {
+		return fmt.Sprintf("%dM", n/1_000_000)
+	}
+	if n >= 1_000 {
+		return fmt.Sprintf("%dk", n/1_000)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // busyMedian is the median tick latency while the full population is still

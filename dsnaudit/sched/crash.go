@@ -33,6 +33,29 @@ const (
 	// CrashMidCheckpoint fires partway through writing checkpoint.tmp,
 	// leaving a torn tmp file next to a valid previous checkpoint.
 	CrashMidCheckpoint CrashPoint = "mid-checkpoint"
+
+	// The three points below exist only under journal group commit
+	// (WithJournalFlushEvery): they bracket the coalesced flushes that
+	// replace per-record appends, where a crash loses a whole buffer of
+	// records at once instead of one record's tail. The registration
+	// write-through is deliberately unlabeled — it is byte-equivalent to a
+	// legacy unbuffered append, which the six points above already bracket.
+
+	// CrashBufferFlush fires when a shard's append buffer reaches
+	// WithJournalFlushBytes, before any of it is written: every record
+	// buffered since the last flush is lost.
+	CrashBufferFlush CrashPoint = "buffer-flush"
+	// CrashBarrierFlush fires at a scheduler durability barrier (tick-top
+	// cadence flush, pre-settlement flush, pre-checkpoint flush, final
+	// flush), before the barrier writes: the barrier's buffer is lost, and
+	// under a multi-shard barrier the shards already flushed stay written.
+	CrashBarrierFlush CrashPoint = "barrier-flush"
+	// CrashMidCoalescedWrite fires inside a coalesced flush after a torn
+	// prefix of the buffer — cut inside its final record — reached the file:
+	// recovery must truncate the torn tail and absorb the rest of the lost
+	// buffer, the multi-record generalization of the single-record torn
+	// tail.
+	CrashMidCoalescedWrite CrashPoint = "mid-coalesced-write"
 )
 
 // CrashPoints enumerates every labeled crash point, in pipeline order. The
@@ -44,6 +67,9 @@ var CrashPoints = []CrashPoint{
 	CrashPreSettle,
 	CrashPostSettle,
 	CrashMidCheckpoint,
+	CrashBufferFlush,
+	CrashBarrierFlush,
+	CrashMidCoalescedWrite,
 }
 
 // ErrCrashed is returned by Run when an injected crash fired. The

@@ -33,6 +33,14 @@ type CrashMatrixConfig struct {
 	// CheckpointEvery is the checkpoint cadence in ticks (default 3 — small
 	// enough that CrashMidCheckpoint fires several times per run).
 	CheckpointEvery int
+	// FlushEvery and FlushBytes configure journal group commit for the
+	// journaled runs (defaults 2 ticks and 192 bytes — small enough that
+	// the coalescing crash points, buffer-full and barrier flushes and the
+	// mid-coalesced-write tear, all fire several times per run). The
+	// matrix therefore exercises every crash point under coalescing, the
+	// write path a production scheduler at scale runs.
+	FlushEvery int
+	FlushBytes int
 	// Occurrences selects which firings of each crash point to kill at
 	// (default {1, 2, 3}): the first, a mid-run one, a later one. An
 	// occurrence a point never reaches is recorded as not fired, not failed.
@@ -59,6 +67,12 @@ func (c *CrashMatrixConfig) applyDefaults() {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 3
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 2
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 192
 	}
 	if len(c.Occurrences) == 0 {
 		c.Occurrences = []int{1, 2, 3}
@@ -264,9 +278,11 @@ func diffMatrixSnapshots(want, got *matrixSnapshot) []string {
 
 // RunCrashMatrix runs the full crash-injection matrix: an uninterrupted
 // baseline, then one crashed-and-recovered run per (CrashPoint, occurrence)
-// cell, each diffed against the baseline. Known exclusions: the in-process
-// crash model cannot tear an individual write (torn-tail handling is pinned
-// by the journal's unit and fuzz tests instead), and admission deferral
+// cell, each diffed against the baseline. The journaled runs use group
+// commit (FlushEvery/FlushBytes), so every cell exercises the coalesced
+// write path, and CrashMidCoalescedWrite tears a multi-record write
+// mid-buffer (single-record torn tails stay pinned by the journal's unit
+// and fuzz tests). Known exclusion: admission deferral
 // (WithMaxInflightPerShard) is not part of the matrix — a deferred-not-
 // issued challenge may be re-admitted one tick earlier after recovery,
 // which is behaviorally harmless (no deadline was running) but not
@@ -356,6 +372,8 @@ func runCrashCase(cfg CrashMatrixConfig, point CrashPoint, occ int, want *matrix
 		WithParallelism(cfg.Parallelism),
 		WithJournal(jnl),
 		WithCheckpointEvery(cfg.CheckpointEvery),
+		WithJournalFlushEvery(cfg.FlushEvery),
+		WithJournalFlushBytes(cfg.FlushBytes),
 		WithCrashHook(func(p CrashPoint) bool {
 			if p != point {
 				return false
@@ -398,7 +416,8 @@ func runCrashCase(cfg CrashMatrixConfig, point CrashPoint, occ int, want *matrix
 			return nil, fmt.Errorf("unknown engagement %s", addr)
 		}
 		return e, nil
-	}, WithShards(cfg.Shards), WithParallelism(cfg.Parallelism), WithCheckpointEvery(cfg.CheckpointEvery))
+	}, WithShards(cfg.Shards), WithParallelism(cfg.Parallelism), WithCheckpointEvery(cfg.CheckpointEvery),
+		WithJournalFlushEvery(cfg.FlushEvery), WithJournalFlushBytes(cfg.FlushBytes))
 	if err != nil {
 		return nil, err
 	}

@@ -35,12 +35,21 @@ import (
 // middle of the log, and surfaces as a JournalCorruptError: recovery must
 // never guess across a hole in the history.
 //
-// Appends are plain file writes with no fsync: the failure model is process
+// The journal has two write modes. The default — one plain file write per
+// record, no fsync — is the PR 8 behavior: the failure model is process
 // death (the crash harness's kill -9), where the OS keeps every completed
-// write. Machine-level power loss would need fdatasync per settlement, which
-// the journal deliberately trades away; the reconciliation pass in Recover
-// absorbs a lost tail either way, because the contracts themselves are the
-// authoritative record of what settled.
+// write. Group commit (WithJournalFlushEvery on the scheduler) buffers
+// records per shard and coalesces them into one write per durability
+// barrier and one fsync per flush cadence: fewer syscalls per record at
+// scale, plus a bounded machine-crash loss window the unbuffered mode never
+// had. Registration records write through the buffer immediately — the
+// scheduler must never act on an engagement whose registration is not
+// durable, because a lost registration is the one record recovery cannot
+// reconstruct. Everything else a crash can lose — challenges, proofs,
+// parked marks, settled rounds, tick marks — is absorbed by Recover, which
+// re-derives live phase from contract state and reconciles settled rounds
+// from the chain; the contracts themselves are the authoritative record of
+// what settled.
 
 // Journal record types.
 type recordType uint8
@@ -303,8 +312,10 @@ func validRecordAfter(data []byte, from int) bool {
 
 // JournalStats counts the journal's write activity.
 type JournalStats struct {
-	Appends     uint64 // records written
-	Bytes       uint64 // bytes written
+	Appends     uint64 // records appended
+	Bytes       uint64 // record bytes appended
+	Writes      uint64 // file writes issued (== Appends without group commit)
+	Fsyncs      uint64 // fsyncs issued (always 0 without group commit)
 	Checkpoints uint64 // checkpoints completed
 	TornBytes   uint64 // torn tail bytes truncated when the journal was opened
 }
@@ -317,15 +328,21 @@ type Journal struct {
 	nshards int
 	shards  []*journalShard
 
-	mu    sync.Mutex
-	stats JournalStats
+	mu         sync.Mutex
+	stats      JournalStats
+	buffered   bool // group commit on: appends coalesce into per-shard buffers
+	flushBytes int  // buffer-full flush threshold under group commit
+	crashHook  func(CrashPoint) bool
+	crashErr   error // latched injected crash; the journal is dead from here on
 }
 
 type journalShard struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	size int64
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	size     int64  // flushed bytes only — what checkpoint offsets may reference
+	buf      []byte // records appended but not yet written (group commit)
+	unsynced bool   // flushed bytes not yet covered by an fsync
 }
 
 // journalMetaName and the shard file pattern fix the on-disk layout.
@@ -432,13 +449,25 @@ func (j *Journal) closeOpened() {
 	}
 }
 
-// Close flushes nothing (appends are unbuffered) and releases the shard
-// files.
+// Close flushes and syncs any buffered records (group commit only; the
+// default mode has nothing buffered) and releases the shard files. A journal
+// whose run died at an injected crash point is closed without flushing — a
+// real crash would not have flushed either, and the matrix judges recovery
+// against exactly the bytes the crash left.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	dead := j.crashErr != nil
+	buffered := j.buffered
+	j.mu.Unlock()
 	var first error
 	for _, sh := range j.shards {
 		sh.mu.Lock()
 		if sh.f != nil {
+			if buffered && !dead {
+				if err := j.flushShardLocked(sh, true, ""); err != nil && first == nil {
+					first = err
+				}
+			}
 			if err := sh.f.Close(); err != nil && first == nil {
 				first = err
 			}
@@ -467,8 +496,51 @@ func (j *Journal) shardFor(addr chain.Address) int {
 	return int(h.Sum32() % uint32(j.nshards))
 }
 
-// append writes one record to its shard. Tick records (no address) go to
-// shard 0.
+// enableGroupCommit switches the journal from flush-every-record to group
+// commit: appends coalesce into per-shard buffers, written out (one write,
+// optionally one fsync) at the scheduler's durability barriers or when a
+// buffer reaches flushBytes. hook is the scheduler's crash-injection hook,
+// consulted at the coalesced flush points; nil for production journals.
+// Called by Run before its first tick; the mode is sticky.
+func (j *Journal) enableGroupCommit(flushBytes int, hook func(CrashPoint) bool) {
+	j.mu.Lock()
+	j.buffered = true
+	j.flushBytes = flushBytes
+	j.crashHook = hook
+	j.mu.Unlock()
+}
+
+// groupCommit reports whether the journal is in group-commit mode.
+func (j *Journal) groupCommit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buffered
+}
+
+// crashed reports whether an injected crash killed the journal.
+func (j *Journal) crashed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.crashErr != nil
+}
+
+// latchCrash marks the journal dead after an injected crash fired inside a
+// flush: every later append and flush is a no-op error, so no byte reaches
+// disk that a real crash at that point would not have written.
+func (j *Journal) latchCrash() {
+	j.mu.Lock()
+	if j.crashErr == nil {
+		j.crashErr = ErrCrashed
+	}
+	j.mu.Unlock()
+}
+
+// append routes one record to its shard. Tick records (no address) go to
+// shard 0. In the default mode every record is one file write; under group
+// commit records buffer until a durability barrier or a full buffer flushes
+// them, except registrations, which write through immediately (flushing
+// whatever the buffer holds first, preserving order) — a lost registration
+// is the one record Recover cannot reconstruct from the chain.
 func (j *Journal) append(r journalRecord) error {
 	sh := j.shards[0]
 	if r.typ != recTick {
@@ -477,17 +549,129 @@ func (j *Journal) append(r journalRecord) error {
 	frame := encodeRecord(r)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	j.mu.Lock()
+	buffered, flushBytes, crashErr := j.buffered, j.flushBytes, j.crashErr
+	if crashErr == nil {
+		j.stats.Appends++
+		j.stats.Bytes += uint64(len(frame))
+	}
+	j.mu.Unlock()
+	if crashErr != nil {
+		return crashErr
+	}
 	if sh.f == nil {
 		return fmt.Errorf("sched: journal closed")
 	}
-	if _, err := sh.f.Write(frame); err != nil {
-		return fmt.Errorf("sched: journal append: %w", err)
+	if !buffered {
+		if _, err := sh.f.Write(frame); err != nil {
+			return fmt.Errorf("sched: journal append: %w", err)
+		}
+		sh.size += int64(len(frame))
+		j.mu.Lock()
+		j.stats.Writes++
+		j.mu.Unlock()
+		return nil
 	}
-	sh.size += int64(len(frame))
+	sh.buf = append(sh.buf, frame...)
+	if r.typ == recRegister || r.typ == recTick {
+		// Write-through records: a registration, because recovery cannot
+		// reconstruct an engagement it never heard of; a tick mark, because
+		// the resume height must be exactly the crash tick — a recovered
+		// scheduler that resumes behind the chain would mine an extra block
+		// for a tick the crashed run already mined. Both are rare relative
+		// to the per-engagement record volume (one tick mark per tick, one
+		// registration per engagement lifetime), so the coalescing win is
+		// untouched.
+		return j.flushShardLocked(sh, false, "")
+	}
+	if len(sh.buf) >= flushBytes {
+		return j.flushShardLocked(sh, false, CrashBufferFlush)
+	}
+	return nil
+}
+
+// flushShardLocked writes a shard's buffered records as one coalesced write,
+// optionally followed by one fsync. Caller holds sh.mu. point labels the
+// flush for crash injection ("" = unlabeled, e.g. the registration
+// write-through, which is equivalent to a legacy unbuffered append); at a
+// labeled flush the hook is consulted first for the label (die with the
+// buffer unwritten) and then for CrashMidCoalescedWrite (die with a torn
+// prefix of the coalesced write, cut inside its final record — the
+// multi-record torn-tail recovery exercises).
+func (j *Journal) flushShardLocked(sh *journalShard, sync bool, point CrashPoint) error {
 	j.mu.Lock()
-	j.stats.Appends++
-	j.stats.Bytes += uint64(len(frame))
+	crashErr, hook := j.crashErr, j.crashHook
 	j.mu.Unlock()
+	if crashErr != nil {
+		return crashErr
+	}
+	if len(sh.buf) == 0 {
+		if sync && sh.unsynced {
+			return j.syncShardLocked(sh)
+		}
+		return nil
+	}
+	if sh.f == nil {
+		return fmt.Errorf("sched: journal closed")
+	}
+	if hook != nil && point != "" {
+		if hook(point) {
+			j.latchCrash()
+			return ErrCrashed
+		}
+		if hook(CrashMidCoalescedWrite) {
+			if n := len(sh.buf) - 2; n > 0 {
+				sh.f.Write(sh.buf[:n])
+			}
+			j.latchCrash()
+			return ErrCrashed
+		}
+	}
+	if _, err := sh.f.Write(sh.buf); err != nil {
+		return fmt.Errorf("sched: journal flush: %w", err)
+	}
+	sh.size += int64(len(sh.buf))
+	sh.buf = sh.buf[:0]
+	sh.unsynced = true
+	j.mu.Lock()
+	j.stats.Writes++
+	j.mu.Unlock()
+	if sync {
+		return j.syncShardLocked(sh)
+	}
+	return nil
+}
+
+// syncShardLocked fsyncs a shard whose flushed bytes are not yet covered by
+// one. Caller holds sh.mu.
+func (j *Journal) syncShardLocked(sh *journalShard) error {
+	if err := sh.f.Sync(); err != nil {
+		return fmt.Errorf("sched: journal fsync: %w", err)
+	}
+	sh.unsynced = false
+	j.mu.Lock()
+	j.stats.Fsyncs++
+	j.mu.Unlock()
+	return nil
+}
+
+// barrier flushes every shard's buffer (group commit only; a no-op in the
+// default mode, whose appends are already on disk when they return). sync
+// additionally fsyncs each shard that has unsynced bytes. Shards flush in
+// order; an injected crash mid-barrier leaves earlier shards written and
+// later ones not, exactly as a real crash between the writes would.
+func (j *Journal) barrier(sync bool, point CrashPoint) error {
+	if !j.groupCommit() {
+		return nil
+	}
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		err := j.flushShardLocked(sh, sync, point)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

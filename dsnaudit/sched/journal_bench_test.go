@@ -29,6 +29,8 @@ func BenchmarkJournalAppend(b *testing.B) {
 // benchSoak runs the 2k-engagement soak with or without a journal and
 // reports tick latency, so the journaled-vs-bare pair in the bench
 // trajectory keeps the durability overhead visible release over release.
+// The journaled run uses the soak's group-commit defaults (4 shards,
+// barrier every 64 ticks), the same shape the nightly 1M gate measures.
 func benchSoak(b *testing.B, journaled bool) {
 	for i := 0; i < b.N; i++ {
 		cfg := SoakConfig{
@@ -50,6 +52,8 @@ func benchSoak(b *testing.B, journaled bool) {
 		if journaled {
 			b.ReportMetric(float64(rep.Journal.Appends), "journal-appends")
 			b.ReportMetric(float64(rep.Journal.Bytes), "journal-bytes")
+			b.ReportMetric(float64(rep.Journal.Writes), "journal-writes")
+			b.ReportMetric(float64(rep.Journal.Fsyncs), "journal-fsyncs")
 		}
 	}
 }

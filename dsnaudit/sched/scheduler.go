@@ -53,15 +53,18 @@ type Scheduler struct {
 	store *store
 
 	// Durability (nil journal = volatile scheduler, the default). The
-	// journal, checkpoint cadence and crash hook are fixed before Run;
-	// lastWake and ckptTicks are owned by the Run goroutine; resume is set
-	// by Recover before Run starts.
-	journal   *Journal
-	ckptEvery int
-	ckptTicks int
-	crashHook func(CrashPoint) bool
-	resume    bool
-	lastWake  uint64
+	// journal, checkpoint cadence, group-commit knobs and crash hook are
+	// fixed before Run; lastWake, ckptTicks and jflushTicks are owned by the
+	// Run goroutine; resume is set by Recover before Run starts.
+	journal     *Journal
+	ckptEvery   int
+	ckptTicks   int
+	jflushEvery int // group-commit synced-flush cadence in ticks; 0 = legacy
+	jflushBytes int // group-commit buffer-full threshold
+	jflushTicks int
+	crashHook   func(CrashPoint) bool
+	resume      bool
+	lastWake    uint64
 
 	mu           sync.Mutex
 	running      bool
@@ -170,6 +173,41 @@ func WithJournal(j *Journal) Option {
 			if s.ckptEvery == 0 {
 				s.ckptEvery = 64
 			}
+		}
+	}
+}
+
+// defaultJournalFlushBytes caps a shard's append buffer under group commit
+// when WithJournalFlushBytes is not set.
+const defaultJournalFlushBytes = 256 << 10
+
+// WithJournalFlushEvery enables journal group commit: instead of one file
+// write per record, records coalesce in per-shard buffers and are written
+// out as one write per shard at each durability barrier, with one fsync per
+// shard every n ticks. Barriers sit where a record becoming externally
+// visible depends on it: before a tick issues challenges (the cadence
+// flush), before a settled block is handed to the settlement stage, before
+// a checkpoint captures journal offsets, and at clean shutdown.
+// Registrations still write through immediately — the scheduler never acts
+// on an engagement whose registration is not on disk. n = 1 flushes and
+// syncs every tick; larger n trades a bounded loss window (absorbed by
+// Recover's reconciliation) for fewer fsyncs. 0 (the default) keeps the
+// legacy flush-every-record behavior with no fsyncs.
+func WithJournalFlushEvery(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.jflushEvery = n
+		}
+	}
+}
+
+// WithJournalFlushBytes sets the per-shard buffer size that forces a flush
+// between barriers under group commit (default 256 KiB). Only meaningful
+// with WithJournalFlushEvery.
+func WithJournalFlushBytes(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.jflushBytes = n
 		}
 	}
 }
@@ -355,6 +393,40 @@ func (s *Scheduler) journalFault() error {
 	return s.journalErr
 }
 
+// journalDead reports whether an injected crash killed the journal. The
+// pipeline checks it after any step that can append: once the journal is
+// dead no further externally-visible effect (challenge, proof, settlement
+// record) may happen, because a real crash would have stopped them too.
+func (s *Scheduler) journalDead() bool {
+	return s.journal != nil && s.journal.crashed()
+}
+
+// jbarrier flushes the journal's buffers at a durability barrier (a no-op
+// without group commit). sync adds the fsync that bounds the machine-crash
+// loss window. The error is ErrCrashed when the crash hook fired at the
+// flush, or the underlying I/O failure — either way the run must stop.
+func (s *Scheduler) jbarrier(sync bool) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.barrier(sync, CrashBarrierFlush)
+}
+
+// jtickFlush is the tick-top barrier under group commit: every jflushEvery
+// ticks the buffers of the elapsed ticks are written and fsynced before
+// this tick issues any challenge.
+func (s *Scheduler) jtickFlush() error {
+	if s.journal == nil || s.jflushEvery <= 0 {
+		return nil
+	}
+	s.jflushTicks++
+	if s.jflushTicks < s.jflushEvery {
+		return nil
+	}
+	s.jflushTicks = 0
+	return s.jbarrier(true)
+}
+
 // Journal returns the scheduler's journal, or nil for a volatile scheduler.
 func (s *Scheduler) Journal() *Journal { return s.journal }
 
@@ -394,6 +466,13 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	}
 	s.running = true
 	s.mu.Unlock()
+	if s.journal != nil && s.jflushEvery > 0 {
+		fb := s.jflushBytes
+		if fb <= 0 {
+			fb = defaultJournalFlushBytes
+		}
+		s.journal.enableGroupCommit(fb, s.crashHook)
+	}
 	resume := s.resume
 	s.resume = false
 	defer func() {
@@ -490,6 +569,11 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			if live, _ = s.store.counts(); live > 0 {
 				continue
 			}
+			// Flush and sync the run's journal tail before the final mines:
+			// a clean completion leaves nothing buffered.
+			if err := s.jbarrier(true); err != nil {
+				return err
+			}
 			for s.net.Chain.PendingCount() > 0 {
 				s.net.Chain.MineBlock()
 			}
@@ -545,13 +629,16 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		}
 		s.lastWake = height
 		s.jappend(journalRecord{typ: recTick, height: height})
+		if err := s.jtickFlush(); err != nil {
+			return err
+		}
 		if s.crashAt(CrashPreIssue) {
 			return ErrCrashed
 		}
 
 		due, block := s.wakeAt(height)
 		adopted := len(block)
-		if s.crashAt(CrashPostIssue) {
+		if s.crashAt(CrashPostIssue) || s.journalDead() {
 			return ErrCrashed
 		}
 
@@ -584,6 +671,12 @@ func (s *Scheduler) Run(ctx context.Context) error {
 						due = nil
 					}
 				}
+				if !crashed && s.journalDead() {
+					// A buffer-full flush inside this result's proof/parked
+					// append crashed: stop dispatching, drain like MidProve.
+					crashed = true
+					due = nil
+				}
 			case <-ctxDone:
 				aborted = true
 				due = nil
@@ -614,6 +707,12 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		if len(block) > 0 {
 			if s.crashAt(CrashPreSettle) {
 				return ErrCrashed
+			}
+			// The settlement barrier: every record behind this block's
+			// verdicts — its challenges, proofs, parked marks — is written
+			// out before the settlement stage can move funds for them.
+			if err := s.jbarrier(false); err != nil {
+				return err
 			}
 			s.store.mu.Lock()
 			for _, en := range block {
@@ -660,6 +759,12 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 	}()
 
 	for _, en := range popped {
+		if s.journalDead() {
+			// A flush inside a previous entry's append crashed: no further
+			// challenge may be issued. The remaining popped entries are
+			// dropped un-rearmed — recovery re-arms them from disk.
+			break
+		}
 		e := en.eng
 		switch en.phase {
 		case phaseWaiting:
@@ -823,6 +928,12 @@ func (s *Scheduler) recordSettlement(out settleOutcome) error {
 		}
 	}
 	for i, res := range out.results {
+		if s.journalDead() {
+			// A flush crashed while recording an earlier verdict. The rest
+			// of the block's verdicts are already on-chain with no journal
+			// record — exactly the window Recover reconciles.
+			return ErrCrashed
+		}
 		en, e := out.entries[i], out.entries[i].eng
 		if res.Err != nil {
 			s.finish(en, res.Err)

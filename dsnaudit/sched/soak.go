@@ -36,9 +36,23 @@ type SoakConfig struct {
 	// JournalDir, when set, runs the soak with the durability journal
 	// enabled — every scheduler decision is appended and checkpoints are cut
 	// at CheckpointEvery ticks — so the soak measures the journaled tick
-	// cost, not just the in-memory one.
+	// cost, not just the in-memory one. By default the journal runs in
+	// group-commit mode (the production shape at scale): per-shard buffers
+	// coalesce records, a durability barrier fsyncs every JournalFlushEvery
+	// ticks and before every externally-visible effect.
 	JournalDir      string
 	CheckpointEvery int // checkpoint cadence in ticks when journaling (default 64)
+	JournalShards   int // journal shard files (default 4 — every barrier fsync pays per shard)
+	// JournalFlushEvery is the group-commit barrier cadence in ticks
+	// (default 64). Set it to -1 to run the journal in its legacy
+	// flush-every-record mode instead.
+	JournalFlushEvery int
+	JournalFlushBytes int // per-shard buffer flush threshold (default 256 KiB)
+
+	// RegisterBatch is how many registrations share one setup block
+	// (default 8192). Larger batches speed up the deploy phase at scale;
+	// height drift stays a handful of blocks against the stagger window.
+	RegisterBatch int
 
 	// Logf, when set, receives setup/progress lines.
 	Logf func(format string, args ...any)
@@ -74,6 +88,15 @@ func (c *SoakConfig) applyDefaults() {
 	}
 	if c.Seed == "" {
 		c.Seed = "soak"
+	}
+	if c.JournalShards <= 0 {
+		c.JournalShards = 4
+	}
+	if c.JournalFlushEvery == 0 {
+		c.JournalFlushEvery = 64
+	}
+	if c.RegisterBatch <= 0 {
+		c.RegisterBatch = 8192
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -190,13 +213,19 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	var jnl *Journal
 	if cfg.JournalDir != "" {
-		jnl, err = OpenJournal(cfg.JournalDir, cfg.Shards)
+		jnl, err = OpenJournal(cfg.JournalDir, cfg.JournalShards)
 		if err != nil {
 			return nil, err
 		}
 		schedOpts = append(schedOpts, WithJournal(jnl))
 		if cfg.CheckpointEvery > 0 {
 			schedOpts = append(schedOpts, WithCheckpointEvery(cfg.CheckpointEvery))
+		}
+		if cfg.JournalFlushEvery > 0 {
+			schedOpts = append(schedOpts, WithJournalFlushEvery(cfg.JournalFlushEvery))
+			if cfg.JournalFlushBytes > 0 {
+				schedOpts = append(schedOpts, WithJournalFlushBytes(cfg.JournalFlushBytes))
+			}
 		}
 	}
 	sched := NewScheduler(net, schedOpts...)
@@ -244,7 +273,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 		// Drain the setup transaction burst; height drift is a handful of
 		// blocks against a stagger window of hundreds.
-		if i%8192 == 8191 {
+		if i%cfg.RegisterBatch == cfg.RegisterBatch-1 {
 			net.Chain.MineBlock()
 		}
 	}

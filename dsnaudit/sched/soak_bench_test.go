@@ -62,3 +62,32 @@ func BenchmarkSoak100k(b *testing.B) {
 		b.ReportMetric(float64(rep.HeapPeak), "heap-peak-bytes")
 	}
 }
+
+// BenchmarkSoak1M is the nightly endurance run: a million journaled
+// engagements driven to completion under group commit, the full production
+// shape — spill-backed audit state, durability barriers, checkpoints. Tens
+// of minutes of work; it runs only when SOAK is set, from the nightly
+// workflow rather than the PR gate.
+func BenchmarkSoak1M(b *testing.B) {
+	if os.Getenv("SOAK") == "" {
+		b.Skip("set SOAK=1 to run the 1M soak")
+	}
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		rep, err := RunSoak(SoakConfig{
+			Engagements: 1_000_000,
+			Interval:    1024,
+			SpillDir:    dir,
+			JournalDir:  dir + "/journal",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.TickMedians[9].Nanoseconds()), "ns/tick-median")
+		b.ReportMetric(float64(rep.TickP99.Nanoseconds()), "ns/tick-p99")
+		b.ReportMetric(rep.FlatnessRatio, "flatness")
+		b.ReportMetric(float64(rep.HeapPeak), "heap-peak-bytes")
+		b.ReportMetric(float64(rep.Journal.Fsyncs), "journal-fsyncs")
+		b.ReportMetric(float64(rep.Journal.Bytes), "journal-bytes")
+	}
+}

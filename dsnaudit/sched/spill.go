@@ -2,8 +2,6 @@ package sched
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -36,6 +34,17 @@ import (
 // without touching disk, a Put supersedes it, a Delete drops it, and the
 // flusher discards its own stale write in those cases.
 //
+// A flushed batch is coalesced into one segment file — one create + one
+// write for the whole batch instead of one file per record, the same group
+// commit the journal applies to its appends. The always-resident index
+// remembers each record's segment, offset and length; a segment file is
+// reference-counted and removed when its last record is rehydrated,
+// superseded or deleted. Spill is a cache, not a durability layer — a crash
+// rebuilds audit state from the owner — so segments carry no fsync; each
+// record keeps its own integrity checksum (core.MarshalAuditState), so a
+// torn or tampered segment read still surfaces. A batch of 1 degenerates to
+// exactly the legacy one-record-per-file layout.
+//
 // What stays resident per spilled engagement is the index entry: the public
 // key (shared across all of one owner's engagements, deliberately not part
 // of the spill record) and the worker bound. Rehydration is deterministic —
@@ -58,6 +67,7 @@ type SpillStore struct {
 	batches  atomic.Uint64
 	resident atomic.Int64
 	peak     atomic.Int64
+	segCtr   atomic.Uint64 // segment file namer, store-wide
 }
 
 // spillShard is one shard: an LRU window over resident provers, the
@@ -79,11 +89,33 @@ type residentEntry struct {
 	prover *core.Prover
 }
 
+// spillSegment is one coalesced batch write on disk, shared by the records
+// it holds and removed when the last of them is released.
+type spillSegment struct {
+	path string
+	live int // records in this segment the index still points at
+}
+
 // spillMeta is the always-resident index entry for one engagement.
 type spillMeta struct {
 	pub     *core.PublicKey
 	workers int
-	path    string // spill file; "" while the prover is resident or pending
+	seg     *spillSegment // nil while the prover is resident or pending
+	off     int64         // record offset within seg
+	size    int64         // record length within seg
+}
+
+// release drops the meta's segment reference, removing the segment file when
+// it was the last. Caller holds the shard lock.
+func (m *spillMeta) release() {
+	if m.seg == nil {
+		return
+	}
+	m.seg.live--
+	if m.seg.live == 0 {
+		os.Remove(m.seg.path)
+	}
+	m.seg = nil
 }
 
 // SpillStats counts the store's paging activity.
@@ -189,9 +221,9 @@ func (s *SpillStore) trackResident(delta int64) {
 func (s *SpillStore) PutProver(addr chain.Address, p *core.Prover) error {
 	sh := s.shardFor(addr)
 	sh.mu.Lock()
-	if old, ok := sh.meta[addr]; ok && old.path != "" {
+	if old, ok := sh.meta[addr]; ok {
 		// Replacing a spilled engagement: the old record is stale.
-		os.Remove(old.path)
+		old.release()
 	}
 	delete(sh.pending, addr) // a pending write of the old prover is stale too
 	sh.meta[addr] = &spillMeta{pub: p.Pub, workers: p.Workers}
@@ -245,7 +277,7 @@ func (s *SpillStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
 		sh.mu.Unlock()
 		return nil, false, nil
 	}
-	data, err := os.ReadFile(m.path)
+	data, err := readSegmentRecord(m)
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, false, fmt.Errorf("sched: read spill record for %s: %w", addr, err)
@@ -262,8 +294,7 @@ func (s *SpillStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
 	}
 	p.Workers = m.workers
 	s.hydrates.Add(1)
-	os.Remove(m.path)
-	m.path = ""
+	m.release()
 	sh.resident[addr] = sh.lru.PushFront(&residentEntry{addr: addr, prover: p})
 	s.trackResident(1)
 	due := s.evictLocked(sh)
@@ -289,12 +320,28 @@ func (s *SpillStore) DeleteProver(addr chain.Address) error {
 	}
 	delete(sh.pending, addr)
 	if m, ok := sh.meta[addr]; ok {
-		if m.path != "" {
-			os.Remove(m.path)
-		}
+		m.release()
 		delete(sh.meta, addr)
 	}
 	return nil
+}
+
+// readSegmentRecord reads one record's bytes out of its segment file. Caller
+// holds the shard lock; m.seg must be non-nil.
+func readSegmentRecord(m *spillMeta) ([]byte, error) {
+	if m.seg == nil {
+		return nil, fmt.Errorf("record has no spill segment")
+	}
+	f, err := os.Open(m.seg.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, m.size)
+	if _, err := f.ReadAt(buf, m.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Flush forces every pending eviction to disk. Callers shutting a node down
@@ -324,15 +371,19 @@ func (s *SpillStore) evictLocked(sh *spillShard) bool {
 	return len(sh.pending) >= s.batch && !sh.flushing
 }
 
-// flushShard writes the shard's pending evictions out. The snapshot is
-// taken under the shard lock; the marshal and file writes run outside it;
-// each write commits under the lock only if the pending entry is still the
-// one written (a concurrent Get/Put/Delete supersedes it, and the stale
-// file is removed). Caller must not hold sh.mu.
+// flushShard writes the shard's pending evictions out as one coalesced
+// segment. The snapshot is taken under the shard lock; the marshal and the
+// single segment write run outside it; each record then commits under the
+// lock only if the pending entry is still the one written (a concurrent
+// Get/Put/Delete supersedes it, and a record dead on arrival just never
+// takes a segment reference). A segment nobody ended up referencing is
+// removed before the flush returns. Caller must not hold sh.mu.
 func (s *SpillStore) flushShard(sh *spillShard) error {
 	type item struct {
 		addr   chain.Address
 		prover *core.Prover
+		off    int64
+		size   int64
 	}
 	sh.mu.Lock()
 	if sh.flushing || len(sh.pending) == 0 {
@@ -342,11 +393,13 @@ func (s *SpillStore) flushShard(sh *spillShard) error {
 	sh.flushing = true
 	batch := make([]item, 0, len(sh.pending))
 	for addr, p := range sh.pending {
-		batch = append(batch, item{addr, p})
+		batch = append(batch, item{addr: addr, prover: p})
 	}
 	sh.mu.Unlock()
 
 	var first error
+	var seg []byte
+	kept := make([]item, 0, len(batch))
 	for _, it := range batch {
 		data, err := core.MarshalAuditState(it.prover.File, it.prover.Auths)
 		if err != nil {
@@ -355,36 +408,48 @@ func (s *SpillStore) flushShard(sh *spillShard) error {
 			}
 			continue
 		}
-		path := spillPath(sh.dir, it.addr)
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			if first == nil {
-				first = fmt.Errorf("sched: spill %s: %w", it.addr, err)
-			}
-			continue
+		it.off = int64(len(seg))
+		it.size = int64(len(data))
+		seg = append(seg, data...)
+		kept = append(kept, it)
+	}
+	if len(kept) == 0 {
+		sh.mu.Lock()
+		sh.flushing = false
+		sh.mu.Unlock()
+		return first
+	}
+	path := filepath.Join(sh.dir, fmt.Sprintf("seg-%08d.state", s.segCtr.Add(1)))
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		if first == nil {
+			first = fmt.Errorf("sched: spill segment: %w", err)
 		}
 		sh.mu.Lock()
+		sh.flushing = false
+		sh.mu.Unlock()
+		return first
+	}
+	segRef := &spillSegment{path: path}
+	sh.mu.Lock()
+	for _, it := range kept {
 		cur, pendingOK := sh.pending[it.addr]
 		m, alive := sh.meta[it.addr]
 		if pendingOK && cur == it.prover && alive {
 			delete(sh.pending, it.addr)
-			m.path = path
+			m.seg = segRef
+			m.off = it.off
+			m.size = it.size
+			segRef.live++
 			s.spills.Add(1)
-		} else {
-			// Promoted, replaced or deleted while we wrote: our file is stale.
-			os.Remove(path)
 		}
-		sh.mu.Unlock()
+		// Else: promoted, replaced or deleted while we wrote. The record is
+		// dead weight in the segment and goes when the live count does.
 	}
-	s.batches.Add(1)
-	sh.mu.Lock()
+	if segRef.live == 0 {
+		os.Remove(path)
+	}
 	sh.flushing = false
 	sh.mu.Unlock()
+	s.batches.Add(1)
 	return first
-}
-
-// spillPath names a record after the contract address's hash: addresses
-// carry separators ('/', ':') that have no business in file names.
-func spillPath(dir string, addr chain.Address) string {
-	sum := sha256.Sum256([]byte(addr))
-	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".state")
 }
