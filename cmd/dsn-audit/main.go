@@ -92,16 +92,23 @@ func fail(err error) int {
 func runServe(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:7420", "listen address (host:port; :0 picks a port)")
-		name    = fs.String("name", "provider", "provider node name (reported in the Hello handshake)")
-		workers = fs.Int("workers", 0, "proof workers per request (0 = GOMAXPROCS)")
+		addr        = fs.String("addr", "127.0.0.1:7420", "listen address (host:port; :0 picks a port)")
+		name        = fs.String("name", "provider", "provider node name (reported in the Hello handshake)")
+		workers     = fs.Int("workers", 0, "proof workers per request (0 = GOMAXPROCS)")
+		metricsAddr = fs.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address (host:port; \"\" = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	co, err := setupObs(*metricsAddr, "")
+	if err != nil {
+		return fail(err)
+	}
+	defer co.close()
+	declareProviderFamilies(co.reg)
 	node := dsnaudit.NewProviderNode(*name)
 	node.Workers = *workers
-	srv := remote.NewServer(node)
+	srv := remote.NewServer(node, remote.WithServerMetrics(co.reg))
 
 	ready := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
@@ -114,7 +121,7 @@ func runServe(ctx context.Context, args []string) int {
 	case err := <-errCh:
 		return fail(err)
 	}
-	err := <-errCh
+	err = <-errCh
 	if err != nil && ctx.Err() == nil {
 		return fail(err)
 	}
@@ -139,6 +146,7 @@ type auditConfig struct {
 	seed        string
 	stateDir    string
 	tickDelay   time.Duration
+	obs         *cliObs
 }
 
 func runAudit(ctx context.Context, args []string) int {
@@ -156,6 +164,8 @@ func runAudit(ctx context.Context, args []string) int {
 		retries     = fs.Int("retries", 2, "re-dial attempts per remote request")
 		stateDir    = fs.String("state", "", "directory for durable state (journal, spill, resume inputs); local mode only")
 		tickDelay   = fs.Duration("tick-delay", 0, "pause per scheduler tick (testing aid; needs -state)")
+		metricsAddr = fs.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address (host:port; \"\" = off)")
+		traceFile   = fs.String("trace", "", "write per-engagement trace events to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -207,6 +217,13 @@ func runAudit(ctx context.Context, args []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	co, err := setupObs(*metricsAddr, *traceFile)
+	if err != nil {
+		return fail(err)
+	}
+	defer co.close()
+	cfg.obs = co
+	net.Chain.Instrument(co.reg)
 	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
 	nProviders := cfg.providers
 	if nProviders < len(cfg.remotes) {
@@ -311,7 +328,12 @@ func runRemoteAudit(ctx context.Context, net *dsnaudit.Network, owner *dsnaudit.
 	if len(cfg.remotes) > len(sf.Holders) {
 		return 0, fmt.Errorf("%d remote providers but the file has only %d share holders", len(cfg.remotes), len(sf.Holders))
 	}
-	sched := dsnaudit.NewScheduler(net)
+	verifier := &dsnaudit.BatchVerifier{}
+	verifier.Instrument(cfg.obs.reg)
+	sched := dsnaudit.NewScheduler(net,
+		dsnaudit.WithVerifier(verifier),
+		dsnaudit.WithMetrics(cfg.obs.reg),
+		dsnaudit.WithTracer(cfg.obs.tracer))
 	engs := make([]*dsnaudit.Engagement, 0, len(cfg.remotes))
 	clients := make([]*remote.Client, 0, len(cfg.remotes))
 	defer func() {
@@ -322,7 +344,8 @@ func runRemoteAudit(ctx context.Context, net *dsnaudit.Network, owner *dsnaudit.
 	for i, addr := range cfg.remotes {
 		client := remote.NewClient(addr,
 			remote.WithCallTimeout(cfg.callTimeout),
-			remote.WithRetries(cfg.retries))
+			remote.WithRetries(cfg.retries),
+			remote.WithClientMetrics(cfg.obs.reg))
 		clients = append(clients, client)
 		holder := sf.Holders[i]
 		eng, err := owner.EngageWith(ctx, sf, holder, client, terms)

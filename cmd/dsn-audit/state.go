@@ -136,6 +136,7 @@ func runDurableLocalAudit(ctx context.Context, net *dsnaudit.Network, owner *dsn
 	if err != nil {
 		return 0, err
 	}
+	spill.Instrument(cfg.obs.reg)
 	// The swap must precede Engage so the shipped audit state lands (and
 	// spills) in the durable store.
 	holder.SetProverStore(spill)
@@ -153,9 +154,14 @@ func runDurableLocalAudit(ctx context.Context, net *dsnaudit.Network, owner *dsn
 	if err != nil {
 		return 0, err
 	}
+	verifier := &dsnaudit.BatchVerifier{}
+	verifier.Instrument(cfg.obs.reg)
 	s := sched.NewScheduler(net,
 		sched.WithJournal(jnl),
-		sched.WithCheckpointEvery(stateCheckpointTick))
+		sched.WithCheckpointEvery(stateCheckpointTick),
+		sched.WithVerifier(verifier),
+		sched.WithMetrics(cfg.obs.reg),
+		sched.WithTracer(cfg.obs.tracer))
 	wireAuditHooks(s, eng, cfg.corruptAt, cfg.tickDelay)
 	if err := s.Add(eng); err != nil {
 		return 0, err
@@ -226,8 +232,10 @@ func printAuditTrail(net *dsnaudit.Network, owner *dsnaudit.Owner, eng *dsnaudit
 func runResume(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("resume", flag.ExitOnError)
 	var (
-		stateDir  = fs.String("state", "", "state directory of the interrupted run (required)")
-		tickDelay = fs.Duration("tick-delay", 0, "pause per scheduler tick (testing aid)")
+		stateDir    = fs.String("state", "", "state directory of the interrupted run (required)")
+		tickDelay   = fs.Duration("tick-delay", 0, "pause per scheduler tick (testing aid)")
+		metricsAddr = fs.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address (host:port; \"\" = off)")
+		traceFile   = fs.String("trace", "", "write per-engagement trace events to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -235,6 +243,11 @@ func runResume(ctx context.Context, args []string) int {
 	if *stateDir == "" {
 		return fail(errors.New("resume requires -state"))
 	}
+	co, err := setupObs(*metricsAddr, *traceFile)
+	if err != nil {
+		return fail(err)
+	}
+	defer co.close()
 
 	// Load the persisted world. Key and audit-state decoding failures are
 	// integrity failures (core.ErrMalformed), not operational ones.
@@ -283,6 +296,7 @@ func runResume(ctx context.Context, args []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	net.Chain.Instrument(co.reg)
 	// Same stake as runAudit: the balance deltas the smoke script compares
 	// are relative to this.
 	funds := new(big.Int).Mul(big.NewInt(1), big.NewInt(1e18))
@@ -310,6 +324,7 @@ func runResume(ctx context.Context, args []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	spill.Instrument(co.reg)
 	holders[0].SetProverStore(spill)
 	sf := &dsnaudit.StoredFile{Manifest: man, Encoded: ef, Auths: auths, Holders: holders}
 	terms := dsnaudit.DefaultTerms(cfg.Rounds)
@@ -337,7 +352,9 @@ func runResume(ctx context.Context, args []string) int {
 			}
 			return eng, nil
 		},
-		sched.WithCheckpointEvery(stateCheckpointTick))
+		sched.WithCheckpointEvery(stateCheckpointTick),
+		sched.WithMetrics(co.reg),
+		sched.WithTracer(co.tracer))
 	if err != nil {
 		return corruptExit(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/dsnaudit/sched"
+	"repro/internal/obs"
 )
 
 // runSoak measures the sharded scheduler at planetary scale: two engagement
@@ -81,7 +82,9 @@ func runSoak(ctx *expCtx) error {
 		defer os.RemoveAll(dir)
 		// The journal rides along so the CI soak gates O(due) ticks and the
 		// memory ceiling with durability on — the configuration a
-		// production auditor would actually run.
+		// production auditor would actually run. The run is instrumented:
+		// the journal line below reads from the metrics registry, and the
+		// gate cross-checks it against the journal's own accounting.
 		rep, err := sched.RunSoak(sched.SoakConfig{
 			Engagements:     sz.engagements,
 			Interval:        sz.interval,
@@ -90,6 +93,7 @@ func runSoak(ctx *expCtx) error {
 			SpillWindow:     sz.window,
 			JournalDir:      filepath.Join(dir, "journal"),
 			CheckpointEvery: 64,
+			Registry:        obs.NewRegistry(),
 			Logf:            func(format string, args ...any) { ctx.printf(format+"\n", args...) },
 		})
 		if err != nil {
@@ -98,12 +102,17 @@ func runSoak(ctx *expCtx) error {
 		reports[i] = rep
 		ctx.printf("%-6s %7d engagements  %4d ticks  due/tick ~%-4d  busy median %-10v  p99 %-10v  flatness %.2f  heap peak %d MB  rss peak %d MB  spills %d  hydrates %d\n",
 			sz.label, rep.Engagements, rep.Ticks, sz.engagements/int(sz.interval),
-			busyMedian(rep).Round(10*time.Microsecond), rep.TickP99.Round(10*time.Microsecond),
+			rep.BusyMedian().Round(10*time.Microsecond), rep.TickP99.Round(10*time.Microsecond),
 			rep.FlatnessRatio, rep.HeapPeak>>20, rep.RSSPeakKB>>10, rep.Spill.Spills, rep.Spill.Hydrates)
 		rounds := rep.Engagements * 2 // SoakConfig default Rounds
+		jAppends := counterValue(rep.Registry, "dsn_journal_appends_total")
+		jBytes := counterValue(rep.Registry, "dsn_journal_bytes_total")
+		jWrites := counterValue(rep.Registry, "dsn_journal_writes_total")
+		jFsyncs := counterValue(rep.Registry, "dsn_journal_fsyncs_total")
+		jCheckpoints := counterValue(rep.Registry, "dsn_journal_checkpoints_total")
 		ctx.printf("%-6s journal: %d appends, %d bytes, %d writes, %d fsyncs, %d checkpoints (%d B, %.3f fsyncs per settled round)\n",
-			sz.label, rep.Journal.Appends, rep.Journal.Bytes, rep.Journal.Writes, rep.Journal.Fsyncs,
-			rep.Journal.Checkpoints, rep.Journal.Bytes/uint64(rounds), float64(rep.Journal.Fsyncs)/float64(rounds))
+			sz.label, jAppends, jBytes, jWrites, jFsyncs,
+			jCheckpoints, jBytes/uint64(rounds), float64(jFsyncs)/float64(rounds))
 		ctx.printf("%-6s tick-latency deciles (median per run-tenth):", sz.label)
 		for _, d := range rep.TickMedians {
 			ctx.printf(" %v", d.Round(10*time.Microsecond))
@@ -113,6 +122,27 @@ func runSoak(ctx *expCtx) error {
 
 	var failures []string
 	for i, rep := range reports {
+		// Metrics-consistency: the journal counters the registry exposes are
+		// dual-written on the append path, independently of the journal's
+		// own stats. Disagreement means the instrumentation drifted from the
+		// code it observes — exactly the silent rot this gate exists to
+		// catch.
+		for _, chk := range []struct {
+			name string
+			obs  uint64
+			own  uint64
+		}{
+			{"dsn_journal_appends_total", counterValue(rep.Registry, "dsn_journal_appends_total"), rep.Journal.Appends},
+			{"dsn_journal_bytes_total", counterValue(rep.Registry, "dsn_journal_bytes_total"), rep.Journal.Bytes},
+			{"dsn_journal_writes_total", counterValue(rep.Registry, "dsn_journal_writes_total"), rep.Journal.Writes},
+			{"dsn_journal_fsyncs_total", counterValue(rep.Registry, "dsn_journal_fsyncs_total"), rep.Journal.Fsyncs},
+		} {
+			if chk.obs != chk.own {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s reports %d but the journal accounted %d (instrumentation drift)",
+					sizes[i].label, chk.name, chk.obs, chk.own))
+			}
+		}
 		if rep.FlatnessRatio > maxFlatness {
 			failures = append(failures, fmt.Sprintf(
 				"%s: per-tick latency grew %.2fx across the run (limit %.1fx)",
@@ -124,7 +154,7 @@ func runSoak(ctx *expCtx) error {
 				sizes[i].label, rep.HeapPeak>>20, heapCeiling>>20))
 		}
 	}
-	small, large := busyMedian(reports[0]), busyMedian(reports[1])
+	small, large := reports[0].BusyMedian(), reports[1].BusyMedian()
 	if small > 0 {
 		if ratio := float64(large) / float64(small); ratio > maxScaling {
 			failures = append(failures, fmt.Sprintf(
@@ -158,19 +188,16 @@ func soakLabel(n int) string {
 	return fmt.Sprintf("%d", n)
 }
 
-// busyMedian is the median tick latency while the full population is still
-// live: the median of the run's first-half decile medians. The back half of
-// a soak retires engagements, so its ticks measure a shrinking due set.
-func busyMedian(rep *sched.SoakReport) time.Duration {
-	firstHalf := append([]time.Duration(nil), rep.TickMedians[:5]...)
-	return medianOf(firstHalf)
-}
-
-func medianOf(s []time.Duration) time.Duration {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+// counterValue reads one unlabeled counter series out of a registry
+// snapshot; absent registries and absent families read as 0.
+func counterValue(reg *obs.Registry, name string) uint64 {
+	if reg == nil {
+		return 0
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name == name && len(s.Labels) == 0 {
+			return uint64(s.Value)
 		}
 	}
-	return s[len(s)/2]
+	return 0
 }

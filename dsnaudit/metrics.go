@@ -1,0 +1,83 @@
+package dsnaudit
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// SchedStats is the plain scheduler's cumulative operational accounting,
+// mirrored into the dsn_sched_* metric family when a registry is
+// attached with WithMetrics. The sharded sched.Scheduler exports the
+// same family from its own Stats, so dashboards read one name whichever
+// scheduler a process runs.
+type SchedStats struct {
+	Ticks         uint64 // blocks mined by Run
+	Challenges    uint64 // challenges issued
+	Proofs        uint64 // proofs received and submitted
+	SettledRounds uint64 // rounds settled (verdicts recorded)
+	Slashes       uint64 // failed rounds and missed deadlines
+}
+
+// schedCounters is the atomic backing store for SchedStats; counting is
+// unconditional (a relaxed atomic add costs less than the branch to
+// skip it) and the obs series are func-backed over these.
+type schedCounters struct {
+	ticks      atomic.Uint64
+	challenges atomic.Uint64
+	proofs     atomic.Uint64
+	settled    atomic.Uint64
+	slashes    atomic.Uint64
+}
+
+// SchedStats snapshots the scheduler's cumulative counters.
+func (s *Scheduler) SchedStats() SchedStats {
+	return SchedStats{
+		Ticks:         s.counters.ticks.Load(),
+		Challenges:    s.counters.challenges.Load(),
+		Proofs:        s.counters.proofs.Load(),
+		SettledRounds: s.counters.settled.Load(),
+		Slashes:       s.counters.slashes.Load(),
+	}
+}
+
+// WithMetrics attaches a metrics registry: the scheduler re-exports its
+// counters as the dsn_sched_* family. A nil registry is a no-op.
+func WithMetrics(reg *obs.Registry) SchedulerOption {
+	return func(s *Scheduler) { s.metricsReg = reg }
+}
+
+// WithTracer attaches a per-engagement event tracer emitting challenge,
+// proof, settled and slashed events. A nil tracer is a no-op.
+func WithTracer(t *obs.Tracer) SchedulerOption {
+	return func(s *Scheduler) { s.tracer = t }
+}
+
+// instrument registers the scheduler's metric series; called once at
+// the end of NewScheduler.
+func (s *Scheduler) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dsn_sched_ticks_total", "blocks processed by the scheduler run loop",
+		func() float64 { return float64(s.counters.ticks.Load()) })
+	reg.CounterFunc("dsn_sched_challenges_total", "challenges issued",
+		func() float64 { return float64(s.counters.challenges.Load()) })
+	reg.CounterFunc("dsn_sched_proofs_total", "proofs received and submitted",
+		func() float64 { return float64(s.counters.proofs.Load()) })
+	reg.CounterFunc("dsn_sched_settled_rounds_total", "rounds settled",
+		func() float64 { return float64(s.counters.settled.Load()) })
+	reg.CounterFunc("dsn_sched_slashes_total", "failed rounds and missed deadlines",
+		func() float64 { return float64(s.counters.slashes.Load()) })
+	reg.GaugeFunc("dsn_sched_live", "entries not yet terminal", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, en := range s.entries {
+			if en.phase != phaseDone {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}

@@ -52,6 +52,7 @@ type Client struct {
 	call    time.Duration
 	maxTry  int // total attempts per call (1 + retries)
 	backoff time.Duration
+	obs     *clientObs // nil = uninstrumented
 
 	mu     sync.Mutex
 	conn   *clientConn
@@ -267,9 +268,13 @@ func (c *Client) roundTrip(ctx context.Context, typ wire.Type, payload []byte) (
 	ctx, cancel := context.WithTimeout(ctx, c.call)
 	defer cancel()
 
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt < c.maxTry; attempt++ {
 		if attempt > 0 {
+			if c.obs != nil {
+				c.obs.retries.Inc()
+			}
 			wait := c.backoff << (attempt - 1)
 			select {
 			case <-time.After(wait):
@@ -290,10 +295,14 @@ func (c *Client) roundTrip(ctx context.Context, typ wire.Type, payload []byte) (
 		}
 		resp, err := cc.roundTrip(ctx, c.reserveID(), typ, payload)
 		if err == nil {
+			c.obs.observeRTT(typ, time.Since(start))
 			if resp.Type == wire.MsgError {
 				return nil, c.mapRemoteError(resp)
 			}
 			return resp, nil
+		}
+		if c.obs != nil && errors.Is(err, dsnaudit.ErrBadFrame) {
+			c.obs.frameErrs.Inc()
 		}
 		if ctx.Err() != nil {
 			// The deadline (or the caller's cancellation) cut the call. A

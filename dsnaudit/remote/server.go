@@ -48,6 +48,8 @@ type Server struct {
 	proofSem   chan struct{}
 	retryAfter uint32
 
+	obs *serverObs // nil = uninstrumented
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -222,6 +224,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	first, err := wire.ReadFrame(conn)
 	if err != nil {
 		s.logf("remote: %v: handshake read: %v", peer, err)
+		if s.obs != nil && errors.Is(err, wire.ErrBadFrame) {
+			s.obs.frameErrs.Inc()
+		}
 		return
 	}
 	if first.Type != wire.MsgHello {
@@ -252,6 +257,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			if err != io.EOF && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
 				s.logf("remote: %v: dropping connection: %v", peer, err)
+				if s.obs != nil && errors.Is(err, wire.ErrBadFrame) {
+					s.obs.frameErrs.Inc()
+				}
 			}
 			return
 		}
@@ -278,6 +286,7 @@ func (s *Server) handleFrame(ctx context.Context, w *connWriter, f *wire.Frame) 
 		s.sendError(w, f.ID, wire.CodeShuttingDown, "server draining")
 		return
 	}
+	s.obs.countRequest(f.Type)
 	switch f.Type {
 	case wire.MsgPing:
 		// Echo, preserving the nonce bytes as-is.
@@ -404,6 +413,9 @@ func (s *Server) sendError(w *connWriter, id uint64, code uint32, msg string) {
 
 // sendOverloaded writes the admission refusal with the retry-after hint.
 func (s *Server) sendOverloaded(w *connWriter, id uint64, msg string) {
+	if s.obs != nil {
+		s.obs.overloads.Inc()
+	}
 	payload, err := (&wire.Error{Code: wire.CodeOverloaded, Message: msg, RetryAfter: s.retryAfter}).Marshal()
 	if err != nil {
 		return

@@ -1,0 +1,50 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// WithMetrics registers the dsn_repair_* metric family on reg,
+// func-backed over the manager's existing Stats accounting so the
+// repair pipeline itself stays untouched. A nil registry is a no-op.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(m *Manager) {
+		if reg == nil {
+			return
+		}
+		stat := func(f func(Stats) float64) func() float64 {
+			return func() float64 { return f(m.Stats()) }
+		}
+		reg.CounterFunc("dsn_repair_detections_total", "tracked engagements that ended in conviction or error",
+			stat(func(s Stats) float64 { return float64(s.SharesLost) }))
+		reg.CounterFunc("dsn_repair_reconstructions_total", "lost shares erasure-decoded back from survivors",
+			stat(func(s Stats) float64 { return float64(s.SharesReconstructed) }))
+		reg.CounterFunc("dsn_repair_replacements_total", "losses closed by a successful re-placement",
+			stat(func(s Stats) float64 { return float64(s.SharesRepaired) }))
+		reg.CounterFunc("dsn_repair_unrecovered_total", "losses the pipeline could not close",
+			stat(func(s Stats) float64 { return float64(s.SharesUnrecovered) }))
+		reg.CounterFunc("dsn_repair_renewals_total", "clean expiries re-engaged on the same holder",
+			stat(func(s Stats) float64 { return float64(s.Renewals) }))
+		reg.CounterFunc("dsn_repair_fetches_served_total", "survivor shares fetched and verified",
+			stat(func(s Stats) float64 { return float64(s.FetchesServed) }))
+		reg.CounterFunc("dsn_repair_fetches_refused_total", "survivor fetches that failed or failed verification",
+			stat(func(s Stats) float64 { return float64(s.FetchesRefused) }))
+		reg.CounterFunc("dsn_repair_bytes_moved_total", "survivor bytes fetched plus reconstructed bytes pushed",
+			stat(func(s Stats) float64 { return float64(s.BytesMoved) }))
+	}
+}
+
+// WithTracer attaches a per-engagement tracer: every successful repair
+// emits a "repaired" event carrying the replacement engagement's ID, the
+// repair height, and a from->to detail. A nil tracer is a no-op.
+func WithTracer(t *obs.Tracer) Option {
+	return func(m *Manager) { m.tracer = t }
+}
+
+// traceRepaired emits the repaired event for a completed re-placement.
+func (m *Manager) traceRepaired(engID string, rec Record) {
+	m.tracer.Emit(obs.EvRepaired, engID, 0, rec.Height,
+		fmt.Sprintf("%s share %d: %s->%s gen %d", rec.File, rec.Index, rec.From, rec.To, rec.Generation))
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/erasure"
+	"repro/internal/obs"
 	"repro/internal/reputation"
 	"repro/internal/storage"
 )
@@ -73,13 +74,14 @@ func WithHorizon(h uint64) Option {
 
 // Stats is the manager's durability accounting.
 type Stats struct {
-	SharesLost        int   // tracked engagements that ended in conviction or error
-	SharesRepaired    int   // losses closed by a successful re-placement
-	SharesUnrecovered int   // losses the pipeline could not close
-	Renewals          int   // clean expiries re-engaged on the same holder
-	FetchesServed     int   // survivor shares fetched and verified
-	FetchesRefused    int   // survivor fetches that failed or failed verification
-	BytesMoved        int64 // survivor bytes fetched plus reconstructed bytes pushed
+	SharesLost          int   // tracked engagements that ended in conviction or error
+	SharesReconstructed int   // lost shares erasure-decoded back from survivors
+	SharesRepaired      int   // losses closed by a successful re-placement
+	SharesUnrecovered   int   // losses the pipeline could not close
+	Renewals            int   // clean expiries re-engaged on the same holder
+	FetchesServed       int   // survivor shares fetched and verified
+	FetchesRefused      int   // survivor fetches that failed or failed verification
+	BytesMoved          int64 // survivor bytes fetched plus reconstructed bytes pushed
 }
 
 // Record documents one repair attempt.
@@ -119,6 +121,7 @@ type Manager struct {
 	sched   Scheduler
 	peerFor func(*dsnaudit.ProviderNode) dsnaudit.RepairPeer
 	horizon uint64
+	tracer  *obs.Tracer
 
 	mu      sync.Mutex
 	height  uint64
@@ -334,6 +337,9 @@ func (m *Manager) repairShare(s *slot) {
 		m.fail(rec, err)
 		return
 	}
+	m.mu.Lock()
+	m.stats.SharesReconstructed++
+	m.mu.Unlock()
 
 	// Re-engage prerequisite: rebuild the owner's audit state from the
 	// reconstructed bytes (deterministic, so the authenticators match the
@@ -374,6 +380,7 @@ func (m *Manager) repairShare(s *slot) {
 		m.stats.BytesMoved += int64(rec.Bytes)
 		m.repairs = append(m.repairs, rec)
 		m.mu.Unlock()
+		m.traceRepaired(string(eng.ID()), rec)
 		return
 	}
 	m.fail(rec, fmt.Errorf("%w: all candidates refused %s share %d", dsnaudit.ErrNoReplacement, man.Name, s.index))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/contract"
+	"repro/internal/obs"
 )
 
 // The scheduler journal is the durability layer's write path: an append-only
@@ -334,6 +335,36 @@ type Journal struct {
 	flushBytes int  // buffer-full flush threshold under group commit
 	crashHook  func(CrashPoint) bool
 	crashErr   error // latched injected crash; the journal is dead from here on
+
+	// Obs counters (nil = uninstrumented; see Instrument). Deliberately
+	// dual-written alongside stats rather than func-backed, so the soak
+	// gate's metrics-consistency check (obs fsyncs == Stats().Fsyncs)
+	// cross-checks the instrumentation instead of reading one variable
+	// through two names.
+	cAppends *obs.Counter
+	cBytes   *obs.Counter
+	cWrites  *obs.Counter
+	cFsyncs  *obs.Counter
+}
+
+// Instrument registers the journal's dsn_journal_* metric family on reg
+// and dual-writes the append/write/fsync counters from here on. Torn
+// bytes and checkpoints are func-backed (they change at open and
+// checkpoint time, not on the append path).
+func (j *Journal) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	j.mu.Lock()
+	j.cAppends = reg.Counter("dsn_journal_appends_total", "records appended to the scheduler journal")
+	j.cBytes = reg.Counter("dsn_journal_bytes_total", "record bytes appended to the scheduler journal")
+	j.cWrites = reg.Counter("dsn_journal_writes_total", "journal file writes issued")
+	j.cFsyncs = reg.Counter("dsn_journal_fsyncs_total", "journal fsyncs issued")
+	j.mu.Unlock()
+	reg.CounterFunc("dsn_journal_torn_bytes_total", "torn tail bytes truncated at journal open",
+		func() float64 { return float64(j.Stats().TornBytes) })
+	reg.CounterFunc("dsn_journal_checkpoints_total", "checkpoints completed",
+		func() float64 { return float64(j.Stats().Checkpoints) })
 }
 
 type journalShard struct {
@@ -554,6 +585,8 @@ func (j *Journal) append(r journalRecord) error {
 	if crashErr == nil {
 		j.stats.Appends++
 		j.stats.Bytes += uint64(len(frame))
+		j.cAppends.Inc()
+		j.cBytes.Add(uint64(len(frame)))
 	}
 	j.mu.Unlock()
 	if crashErr != nil {
@@ -569,6 +602,7 @@ func (j *Journal) append(r journalRecord) error {
 		sh.size += int64(len(frame))
 		j.mu.Lock()
 		j.stats.Writes++
+		j.cWrites.Inc()
 		j.mu.Unlock()
 		return nil
 	}
@@ -635,6 +669,7 @@ func (j *Journal) flushShardLocked(sh *journalShard, sync bool, point CrashPoint
 	sh.unsynced = true
 	j.mu.Lock()
 	j.stats.Writes++
+	j.cWrites.Inc()
 	j.mu.Unlock()
 	if sync {
 		return j.syncShardLocked(sh)
@@ -651,6 +686,7 @@ func (j *Journal) syncShardLocked(sh *journalShard) error {
 	sh.unsynced = false
 	j.mu.Lock()
 	j.stats.Fsyncs++
+	j.cFsyncs.Inc()
 	j.mu.Unlock()
 	return nil
 }

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // BenchmarkJournalAppend measures the per-decision durability tax: one
@@ -31,7 +33,7 @@ func BenchmarkJournalAppend(b *testing.B) {
 // trajectory keeps the durability overhead visible release over release.
 // The journaled run uses the soak's group-commit defaults (4 shards,
 // barrier every 64 ticks), the same shape the nightly 1M gate measures.
-func benchSoak(b *testing.B, journaled bool) {
+func benchSoak(b *testing.B, journaled, instrumented bool) {
 	for i := 0; i < b.N; i++ {
 		cfg := SoakConfig{
 			Engagements: 2_000,
@@ -42,6 +44,9 @@ func benchSoak(b *testing.B, journaled bool) {
 		if journaled {
 			cfg.JournalDir = b.TempDir()
 			cfg.CheckpointEvery = 64
+		}
+		if instrumented {
+			cfg.Registry = obs.NewRegistry()
 		}
 		rep, err := RunSoak(cfg)
 		if err != nil {
@@ -58,5 +63,13 @@ func benchSoak(b *testing.B, journaled bool) {
 	}
 }
 
-func BenchmarkSoakBare2k(b *testing.B)      { benchSoak(b, false) }
-func BenchmarkSoakJournaled2k(b *testing.B) { benchSoak(b, true) }
+func BenchmarkSoakBare2k(b *testing.B)      { benchSoak(b, false, false) }
+func BenchmarkSoakJournaled2k(b *testing.B) { benchSoak(b, true, false) }
+
+// BenchmarkObsOverhead is the bare 2k soak with the full metrics registry
+// attached: scheduler, spill and chain all instrumented. Its delta against
+// BenchmarkSoakBare2k in the bench trajectory is the observability tax,
+// gated by the same >25% diff threshold as the journaled pair — the
+// func-backed series and nil-checked hot paths are supposed to make that
+// delta disappear into run-to-run noise.
+func BenchmarkObsOverhead(b *testing.B) { benchSoak(b, false, true) }

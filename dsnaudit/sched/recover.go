@@ -358,6 +358,9 @@ func Recover(dir string, n *dsnaudit.Network, resolve Resolver, opts ...Option) 
 	if err := s.journalFault(); err != nil {
 		return nil, nil, err
 	}
+	// Recovery restored parked phases directly, bypassing the phase
+	// transition tracking; recount the parked gauge once.
+	s.obsSyncParked()
 	return s, rep, nil
 }
 

@@ -7,11 +7,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/dsnaudit"
 	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Scheduler drives engagements on one chain with per-tick cost proportional
@@ -65,6 +67,12 @@ type Scheduler struct {
 	crashHook   func(CrashPoint) bool
 	resume      bool
 	lastWake    uint64
+
+	// Observability (nil = off, the default). metricsReg is consumed at
+	// the end of NewScheduler, once options have fixed shards and journal.
+	metricsReg *obs.Registry
+	obs        *schedObs
+	tracer     *obs.Tracer
 
 	mu           sync.Mutex
 	running      bool
@@ -246,6 +254,7 @@ func NewScheduler(n *dsnaudit.Network, opts ...Option) *Scheduler {
 	if s.store == nil {
 		s.store = newStore(1)
 	}
+	s.instrument(s.metricsReg)
 	return s
 }
 
@@ -451,6 +460,7 @@ type settleOutcome struct {
 	entries []*entry
 	cs      []*contract.Contract
 	results []contract.SettleResult
+	height  uint64
 	err     error
 }
 
@@ -530,7 +540,7 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		defer settleWG.Done()
 		for job := range settleJobs {
 			res, err := s.verifier.SettleBlock(job.cs, job.height, s.parallelism)
-			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, err: err}
+			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, height: job.height, err: err}
 		}
 	}()
 	defer func() {
@@ -731,8 +741,12 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			s.ckptTicks++
 			if s.ckptTicks >= s.ckptEvery {
 				s.ckptTicks = 0
+				start := time.Now()
 				if err := s.writeCheckpoint(); err != nil {
 					return err
+				}
+				if s.obs != nil {
+					s.obs.ckptDur.ObserveDuration(time.Since(start))
 				}
 			}
 		}
@@ -756,6 +770,7 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 		s.stats.Deferrals += deferrals
 		s.stats.Retries += retries
 		s.mu.Unlock()
+		s.obsTick(len(popped), int(deferrals))
 	}()
 
 	for _, en := range popped {
@@ -796,6 +811,7 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 				challenges++
 				s.setPhase(en, phaseProving)
 				s.jappend(journalRecord{typ: recChallenge, addr: e.ID(), round: e.Contract.Round()})
+				s.tracer.Emit(obs.EvChallenge, string(e.ID()), e.Contract.Round(), h, "")
 				due = append(due, proofJob{entry: en, ch: ch})
 			case contract.StateProve:
 				// Adopted mid-round: resume the open challenge. Exempt from
@@ -825,6 +841,8 @@ func (s *Scheduler) wakeAt(h uint64) (due []proofJob, block []*entry) {
 				round:    e.Contract.Round() - 1,
 				deadline: true,
 			})
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, h, "deadline")
+			s.tracer.Emit(obs.EvSlashed, string(e.ID()), e.Contract.Round()-1, h, "missed deadline")
 			s.finish(en, nil) // a missed deadline aborts the contract
 		case phaseRetry:
 			// The provider refused the open challenge with ErrOverloaded and
@@ -883,6 +901,7 @@ func (s *Scheduler) submit(ctx context.Context, h uint64, r proofResult) bool {
 		return false
 	}
 	s.jappend(journalRecord{typ: recProof, addr: e.ID(), round: e.Contract.Round()})
+	s.tracer.Emit(obs.EvProof, string(e.ID()), e.Contract.Round(), h, "")
 	return true
 }
 
@@ -947,6 +966,12 @@ func (s *Scheduler) recordSettlement(out settleOutcome) error {
 			round:  e.Contract.Round() - 1,
 			passed: res.Passed,
 		})
+		if res.Passed {
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, out.height, "passed")
+		} else {
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, out.height, "failed")
+			s.tracer.Emit(obs.EvSlashed, string(e.ID()), e.Contract.Round()-1, out.height, "failed round")
+		}
 		if e.Contract.State().Terminal() {
 			s.finish(en, nil)
 			continue
@@ -964,8 +989,10 @@ func (s *Scheduler) recordSettlement(out settleOutcome) error {
 // accessors read phases concurrently).
 func (s *Scheduler) setPhase(en *entry, p phase) {
 	s.store.mu.Lock()
+	old := en.phase
 	en.phase = p
 	s.store.mu.Unlock()
+	s.obs.trackParked(old, p)
 }
 
 // recordRound updates an entry's pass/fail accounting.
@@ -984,6 +1011,7 @@ func (s *Scheduler) recordRound(en *entry, passed bool) {
 // lock held, and (under WithAutoCompact) drops the entry.
 func (s *Scheduler) finish(en *entry, err error) {
 	s.store.mu.Lock()
+	oldPhase := en.phase
 	en.phase = phaseDone
 	en.result.State = en.eng.Contract.State()
 	if err != nil {
@@ -996,6 +1024,7 @@ func (s *Scheduler) finish(en *entry, err error) {
 	}
 	out := dsnaudit.Outcome{ID: en.eng.ID(), Eng: en.eng, Result: en.result}
 	s.store.mu.Unlock()
+	s.obs.trackParked(oldPhase, phaseDone)
 	rec := journalRecord{
 		typ:    recTerminal,
 		addr:   out.ID,

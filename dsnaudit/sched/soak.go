@@ -16,6 +16,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SoakConfig sizes a scheduler soak: a population of engagements far larger
@@ -53,6 +54,12 @@ type SoakConfig struct {
 	// (default 8192). Larger batches speed up the deploy phase at scale;
 	// height drift stays a handful of blocks against the stagger window.
 	RegisterBatch int
+
+	// Registry, when set, instruments the whole soak — scheduler, journal,
+	// spill store and chain all register their metric families on it — so
+	// the run's accounting is readable from the outside and the
+	// instrumentation overhead itself is measurable (nil = bare run).
+	Registry *obs.Registry
 
 	// Logf, when set, receives setup/progress lines.
 	Logf func(format string, args ...any)
@@ -124,6 +131,20 @@ type SoakReport struct {
 	Spill   SpillStats   // zero-valued when SpillDir was ""
 	Journal JournalStats // zero-valued when JournalDir was ""
 	Sched   Stats
+
+	// Registry echoes SoakConfig.Registry so callers can read the run's
+	// metric families back (nil when the run was bare).
+	Registry *obs.Registry
+}
+
+// BusyMedian is the median tick latency while the full population is
+// still live: the median of the run's first-half decile medians. The
+// back half of a soak retires engagements, so its ticks measure a
+// shrinking due set.
+func (r *SoakReport) BusyMedian() time.Duration {
+	s := append([]time.Duration(nil), r.TickMedians[:5]...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 // soakVerifyGas is the modeled settlement gas; its exact value only feeds
@@ -169,6 +190,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	net.Chain.Instrument(cfg.Registry)
 
 	// Funds: every engagement escrows Rounds wei from the owner (one wei
 	// per round) and one wei from the provider.
@@ -187,6 +209,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		spill.Instrument(cfg.Registry)
 		provider.SetProverStore(spill)
 	}
 
@@ -210,6 +233,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		WithParallelism(cfg.Parallelism),
 		WithVerifier(TrustingVerifier{}),
 		WithAutoCompact(),
+		WithMetrics(cfg.Registry),
 	}
 	var jnl *Journal
 	if cfg.JournalDir != "" {
@@ -329,6 +353,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		HeapPeak:    heapPeak,
 		RSSPeakKB:   readVmHWM(),
 		Sched:       sched.Stats(),
+		Registry:    cfg.Registry,
 	}
 	if spill != nil {
 		rep.Spill = spill.Stats()
@@ -340,25 +365,30 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 	if len(latencies) >= 20 {
+		// Deciles and p99 are obs.Histogram quantile estimates over the
+		// fine-grained duration scale (~10% interpolation error) — the same
+		// estimator a scraped dsn_*_seconds histogram yields, so the
+		// soak report and a live dashboard agree on methodology. The
+		// flatness and scaling gates compare against 2.0x thresholds, far
+		// outside that error.
 		tenth := len(latencies) / 10
 		for i := 0; i < 10; i++ {
-			seg := latencies[i*tenth : (i+1)*tenth]
-			rep.TickMedians[i] = medianDuration(seg)
+			h := obs.NewHistogram(obs.DurationBuckets)
+			for _, d := range latencies[i*tenth : (i+1)*tenth] {
+				h.ObserveDuration(d)
+			}
+			rep.TickMedians[i] = time.Duration(h.Quantile(0.5) * float64(time.Second))
 		}
 		if rep.TickMedians[0] > 0 {
 			rep.FlatnessRatio = float64(rep.TickMedians[9]) / float64(rep.TickMedians[0])
 		}
-		all := append([]time.Duration(nil), latencies...)
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		rep.TickP99 = all[len(all)*99/100]
+		all := obs.NewHistogram(obs.DurationBuckets)
+		for _, d := range latencies {
+			all.ObserveDuration(d)
+		}
+		rep.TickP99 = time.Duration(all.Quantile(0.99) * float64(time.Second))
 	}
 	return rep, nil
-}
-
-func medianDuration(seg []time.Duration) time.Duration {
-	s := append([]time.Duration(nil), seg...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2]
 }
 
 // readVmHWM returns the process's peak resident set in KB from

@@ -12,6 +12,7 @@ import (
 	"repro/dsnaudit"
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SpillStore is a dsnaudit.ProverStore that keeps at most `limit` hydrated
@@ -67,6 +68,7 @@ type SpillStore struct {
 	batches  atomic.Uint64
 	resident atomic.Int64
 	peak     atomic.Int64
+	segs     atomic.Int64  // live segment files on disk
 	segCtr   atomic.Uint64 // segment file namer, store-wide
 }
 
@@ -105,17 +107,21 @@ type spillMeta struct {
 	size    int64         // record length within seg
 }
 
-// release drops the meta's segment reference, removing the segment file when
-// it was the last. Caller holds the shard lock.
-func (m *spillMeta) release() {
+// release drops the meta's segment reference, removing the segment file
+// when it was the last, and reports whether a file was removed so the
+// store can keep its live-segment gauge current. Caller holds the shard
+// lock.
+func (m *spillMeta) release() bool {
 	if m.seg == nil {
-		return
+		return false
 	}
 	m.seg.live--
-	if m.seg.live == 0 {
+	removed := m.seg.live == 0
+	if removed {
 		os.Remove(m.seg.path)
 	}
 	m.seg = nil
+	return removed
 }
 
 // SpillStats counts the store's paging activity.
@@ -125,6 +131,36 @@ type SpillStats struct {
 	Batches      uint64 // eviction batches flushed
 	Resident     int    // provers currently hydrated (LRU windows only)
 	ResidentPeak int    // high-water mark of Resident
+	Segments     int    // coalesced segment files currently on disk
+}
+
+// releaseMeta drops a meta's segment reference through the store so the
+// segment gauge tracks file removal. Caller holds the shard lock.
+func (s *SpillStore) releaseMeta(m *spillMeta) {
+	if m.release() {
+		s.segs.Add(-1)
+	}
+}
+
+// Instrument registers the store's dsn_spill_* metric family on reg.
+// Every series is func-backed over the store's existing atomics, so
+// instrumentation adds nothing to the paging hot path.
+func (s *SpillStore) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dsn_spill_evictions_total", "provers written to disk on eviction",
+		func() float64 { return float64(s.spills.Load()) })
+	reg.CounterFunc("dsn_spill_hydrations_total", "provers read back from disk",
+		func() float64 { return float64(s.hydrates.Load()) })
+	reg.CounterFunc("dsn_spill_batches_total", "eviction batches flushed",
+		func() float64 { return float64(s.batches.Load()) })
+	reg.GaugeFunc("dsn_spill_resident", "provers currently hydrated",
+		func() float64 { return float64(s.resident.Load()) })
+	reg.GaugeFunc("dsn_spill_resident_peak", "high-water mark of hydrated provers",
+		func() float64 { return float64(s.peak.Load()) })
+	reg.GaugeFunc("dsn_spill_segments", "coalesced segment files on disk",
+		func() float64 { return float64(s.segs.Load()) })
 }
 
 // SpillOption customizes NewSpillStore.
@@ -202,6 +238,7 @@ func (s *SpillStore) Stats() SpillStats {
 		Batches:      s.batches.Load(),
 		Resident:     int(s.resident.Load()),
 		ResidentPeak: int(s.peak.Load()),
+		Segments:     int(s.segs.Load()),
 	}
 }
 
@@ -223,7 +260,7 @@ func (s *SpillStore) PutProver(addr chain.Address, p *core.Prover) error {
 	sh.mu.Lock()
 	if old, ok := sh.meta[addr]; ok {
 		// Replacing a spilled engagement: the old record is stale.
-		old.release()
+		s.releaseMeta(old)
 	}
 	delete(sh.pending, addr) // a pending write of the old prover is stale too
 	sh.meta[addr] = &spillMeta{pub: p.Pub, workers: p.Workers}
@@ -294,7 +331,7 @@ func (s *SpillStore) GetProver(addr chain.Address) (*core.Prover, bool, error) {
 	}
 	p.Workers = m.workers
 	s.hydrates.Add(1)
-	m.release()
+	s.releaseMeta(m)
 	sh.resident[addr] = sh.lru.PushFront(&residentEntry{addr: addr, prover: p})
 	s.trackResident(1)
 	due := s.evictLocked(sh)
@@ -320,7 +357,7 @@ func (s *SpillStore) DeleteProver(addr chain.Address) error {
 	}
 	delete(sh.pending, addr)
 	if m, ok := sh.meta[addr]; ok {
-		m.release()
+		s.releaseMeta(m)
 		delete(sh.meta, addr)
 	}
 	return nil
@@ -447,6 +484,8 @@ func (s *SpillStore) flushShard(sh *spillShard) error {
 	}
 	if segRef.live == 0 {
 		os.Remove(path)
+	} else {
+		s.segs.Add(1)
 	}
 	sh.flushing = false
 	sh.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Scheduler drives any number of engagements concurrently on one chain.
@@ -57,6 +58,12 @@ type Scheduler struct {
 
 	outcomeHooks []func(Outcome)
 	blockHooks   []func(height uint64)
+
+	// Observability. counters is always live (atomic adds); the obs
+	// series over it and the tracer are nil until attached.
+	counters   schedCounters
+	metricsReg *obs.Registry
+	tracer     *obs.Tracer
 }
 
 // Outcome is one engagement's terminal result, delivered to outcome hooks
@@ -115,6 +122,7 @@ type settleOutcome struct {
 	entries []*schedEntry
 	cs      []*contract.Contract
 	results []contract.SettleResult
+	height  uint64
 	err     error
 }
 
@@ -173,6 +181,7 @@ func NewScheduler(n *Network, opts ...SchedulerOption) *Scheduler {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.instrument(s.metricsReg)
 	return s
 }
 
@@ -353,7 +362,7 @@ func (s *Scheduler) Run(ctx context.Context) error {
 		defer settleWG.Done()
 		for job := range settleJobs {
 			res, err := s.verifier.SettleBlock(job.cs, job.height, s.parallelism)
-			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, err: err}
+			settleOutcomes <- settleOutcome{entries: job.entries, cs: job.cs, results: res, height: job.height, err: err}
 		}
 	}()
 	defer func() {
@@ -449,6 +458,8 @@ func (s *Scheduler) Run(ctx context.Context) error {
 			}
 			return ctx.Err()
 		}
+
+		s.counters.ticks.Add(1)
 
 		// Block hooks fire between the block event and the wake scan: what
 		// they do to the world (kill a provider, add an engagement) is
@@ -571,6 +582,8 @@ func (s *Scheduler) wake(h uint64) (due []proofJob, block []*schedEntry) {
 					continue
 				}
 				entry.phase = phaseProving
+				s.counters.challenges.Add(1)
+				s.tracer.Emit(obs.EvChallenge, string(e.ID()), e.Contract.Round(), h, "")
 				due = append(due, proofJob{entry: entry, ch: ch})
 			case contract.StateProve:
 				// Adopted mid-round (e.g. a canceled previous Run): resume
@@ -594,6 +607,10 @@ func (s *Scheduler) wake(h uint64) (due []proofJob, block []*schedEntry) {
 				continue
 			}
 			s.recordRound(entry, false)
+			s.counters.settled.Add(1)
+			s.counters.slashes.Add(1)
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, h, "deadline")
+			s.tracer.Emit(obs.EvSlashed, string(e.ID()), e.Contract.Round()-1, h, "missed deadline")
 			s.finish(entry, nil) // a missed deadline aborts the contract
 		}
 	}
@@ -623,6 +640,8 @@ func (s *Scheduler) submit(ctx context.Context, r proofResult) bool {
 		s.finish(entry, err)
 		return false
 	}
+	s.counters.proofs.Add(1)
+	s.tracer.Emit(obs.EvProof, string(e.ID()), e.Contract.Round(), s.net.Chain.Height(), "")
 	return true
 }
 
@@ -653,6 +672,14 @@ func (s *Scheduler) recordSettlement(out settleOutcome) error {
 		}
 		e.recordOutcome(res.Passed)
 		s.recordRound(entry, res.Passed)
+		s.counters.settled.Add(1)
+		if res.Passed {
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, out.height, "passed")
+		} else {
+			s.counters.slashes.Add(1)
+			s.tracer.Emit(obs.EvSettled, string(e.ID()), e.Contract.Round()-1, out.height, "failed")
+			s.tracer.Emit(obs.EvSlashed, string(e.ID()), e.Contract.Round()-1, out.height, "failed round")
+		}
 		if e.Contract.State().Terminal() {
 			s.finish(entry, nil)
 			continue

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one per-engagement span event in the audit lifecycle. The
+// JSON encoding is the JSONL trace schema documented in the README.
+type Event struct {
+	Time       time.Time `json:"t"`
+	Type       string    `json:"type"`
+	Engagement string    `json:"eng"`
+	Round      int       `json:"round"`
+	Height     uint64    `json:"height"`
+	Detail     string    `json:"detail,omitempty"`
+}
+
+// Trace event types emitted by the instrumented pipeline.
+const (
+	EvChallenge = "challenge" // challenge issued to the provider
+	EvProof     = "proof"     // proof received and sealed for settlement
+	EvSettled   = "settled"   // round settled on chain (detail: passed|failed|deadline)
+	EvSlashed   = "slashed"   // provider slashed (failed round or missed deadline)
+	EvRepaired  = "repaired"  // lost share reconstructed and re-placed
+)
+
+// Sink consumes trace events. Emit must be safe for concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer fans events out to a sink. A nil *Tracer (or a Tracer with a
+// nil sink) drops everything at the cost of one branch, so hot paths
+// can emit unconditionally through a possibly-nil field.
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer wraps a sink. NewTracer(nil) returns a tracer that drops
+// all events.
+func NewTracer(s Sink) *Tracer { return &Tracer{sink: s} }
+
+// Emit records one event, stamping the current time.
+func (t *Tracer) Emit(typ, engagement string, round int, height uint64, detail string) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(Event{
+		Time:       time.Now(),
+		Type:       typ,
+		Engagement: engagement,
+		Round:      round,
+		Height:     height,
+		Detail:     detail,
+	})
+}
+
+// RingSink keeps the most recent cap events in a bounded ring buffer —
+// the default sink for live introspection: cheap, allocation-free per
+// event after warm-up, and safe to leave attached in production.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRingSink builds a ring holding the last cap events (min 1).
+func NewRingSink(cap int) *RingSink {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RingSink{buf: make([]Event, 0, cap)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were ever emitted, including those the
+// ring has since overwritten.
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONLSink appends one JSON object per event to a file — the durable
+// trace format replayed by tooling and the lifecycle tests.
+type JSONLSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink creates (truncating) path and returns a sink writing one
+// JSON-encoded Event per line.
+func NewJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Emit implements Sink. The first write error is latched and reported
+// by Close.
+func (s *JSONLSink) Emit(e Event) {
+	b, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes and closes the file, returning the first error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// ReadJSONL decodes a JSONL trace file back into events, for replay and
+// tests.
+func ReadJSONL(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

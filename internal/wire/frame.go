@@ -97,6 +97,10 @@ func (t Type) String() string {
 // valid reports whether t is a known message type.
 func (t Type) valid() bool { return t >= MsgHello && t <= MsgShareData }
 
+// Valid reports whether t is a known message type; instrumentation that
+// indexes per-type series by Type uses it to reject out-of-range values.
+func (t Type) Valid() bool { return t.valid() }
+
 // Framing errors. ErrFrameTooLarge and ErrVersion wrap ErrBadFrame, so
 // errors.Is(err, ErrBadFrame) matches every framing-level rejection.
 var (

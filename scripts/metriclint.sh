@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# metriclint.sh — static lint of every metric name registered in the tree.
+#
+# The convention: families are dsn_<subsystem>_<name> with a known
+# subsystem, counters end in _total, and histograms carry a unit suffix.
+# Registration calls keep the name literal on the call line (no computed
+# names), which is what makes the convention mechanically checkable — and
+# is itself enforced here by requiring that at least one registration is
+# found.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+subsystems='sched|journal|spill|remote|settle|chain|repair'
+
+# Extract (location, call kind, name) for every registration whose name
+# starts with dsn_. Test files may register throwaway families (dsn_test_*)
+# and are exempt.
+regs=$(grep -rn --include='*.go' --exclude='*_test.go' \
+         -oE '\.(Counter|CounterFunc|Gauge|GaugeFunc|Histogram)\("dsn_[a-z0-9_]+"' . |
+       sed -E 's/\.(Counter|CounterFunc|Gauge|GaugeFunc|Histogram)\("/ \1 /; s/"$//')
+
+fail=0
+count=0
+while read -r loc kind name; do
+  [ -n "$name" ] || continue
+  count=$((count + 1))
+  if ! echo "$name" | grep -qE "^dsn_($subsystems)_[a-z0-9_]+$"; then
+    echo "metriclint: $loc $name: unknown subsystem (want dsn_{${subsystems}}_<name>)"
+    fail=1
+  fi
+  case "$kind" in
+    Counter|CounterFunc)
+      if ! echo "$name" | grep -qE '_total$'; then
+        echo "metriclint: $loc $name: counters must end in _total"
+        fail=1
+      fi ;;
+    Histogram)
+      if ! echo "$name" | grep -qE '(_seconds|_bytes|_size|_depth)$'; then
+        echo "metriclint: $loc $name: histograms must carry a unit suffix (_seconds/_bytes/_size/_depth)"
+        fail=1
+      fi ;;
+  esac
+done <<< "$regs"
+
+if [ "$count" -eq 0 ]; then
+  echo "metriclint: found no metric registrations — name extraction broke?"
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "metriclint: FAIL"
+  exit 1
+fi
+echo "metriclint: PASS ($count registrations checked)"

@@ -21,10 +21,14 @@ cleanup() {
 trap cleanup EXIT
 
 # Start three providers on kernel-chosen ports and collect their addresses.
+# sp-a also serves /metrics, scraped mid-audit in phase 2.
 addrs=()
 for name in sp-a sp-b sp-c; do
   log="$workdir/$name.log"
-  "$bin" serve -addr 127.0.0.1:0 -name "$name" >"$log" 2>&1 &
+  metrics_flag=""
+  [ "$name" = sp-a ] && metrics_flag="-metrics 127.0.0.1:0"
+  # shellcheck disable=SC2086
+  "$bin" serve -addr 127.0.0.1:0 -name "$name" $metrics_flag >"$log" 2>&1 &
   pids+=($!)
   for _ in $(seq 1 100); do
     addr=$(grep -m1 '^LISTEN ' "$log" 2>/dev/null | cut -d' ' -f2 || true)
@@ -34,6 +38,8 @@ for name in sp-a sp-b sp-c; do
   [ -n "$addr" ] || { echo "FAIL: $name never reported its address"; exit 1; }
   addrs+=("$addr")
 done
+metrics_addr=$(grep -m1 '^METRICS ' "$workdir/sp-a.log" | cut -d' ' -f2)
+[ -n "$metrics_addr" ] || { echo "FAIL: sp-a never reported its metrics address"; exit 1; }
 remote_list="${addrs[0]},${addrs[1]},${addrs[2]}"
 echo "providers up: $remote_list"
 
@@ -64,6 +70,22 @@ for _ in $(seq 1 1200); do
   kill -0 "$audit_pid" 2>/dev/null || break
   sleep 0.05
 done
+
+# Mid-audit metrics scrape: with at least one round settled, sp-a has
+# served challenges; its /metrics must be Prometheus-parseable with a
+# nonzero Challenge request counter, and must expose the pre-declared
+# driver-side families so one scrape config covers every process role.
+scrape="$workdir/metrics.txt"
+curl -sf "http://$metrics_addr/metrics" >"$scrape" || { echo "FAIL: /metrics scrape failed"; exit 1; }
+grep -q '^# TYPE dsn_remote_requests_total counter' "$scrape" \
+  || { echo "FAIL: /metrics missing dsn_remote_requests_total TYPE line"; cat "$scrape"; exit 1; }
+challenges=$(grep '^dsn_remote_requests_total{type="Challenge"}' "$scrape" | awk '{print $2}')
+[ -n "$challenges" ] && [ "${challenges%.*}" -gt 0 ] \
+  || { echo "FAIL: mid-audit Challenge counter not positive: '$challenges'"; cat "$scrape"; exit 1; }
+grep -q '^dsn_sched_ticks_total' "$scrape" \
+  || { echo "FAIL: pre-declared scheduler family missing from provider /metrics"; cat "$scrape"; exit 1; }
+echo "mid-audit metrics scrape ok ($challenges challenges served by sp-a)"
+
 kill "${pids[2]}" 2>/dev/null || true
 echo "killed provider sp-c mid-run"
 
